@@ -1,0 +1,52 @@
+"""Shared helpers for the paper-table benchmarks.
+
+Workload generation and C compilation happen once per (profile, scale) in
+this cache; the benches time only the analysis, like the paper's Table 3
+("wall clock time ... of the analyze phase").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cla.store import MemoryStore
+from repro.driver.tables import DEFAULT_SCALES
+from repro.synth import generate
+
+_CACHE: dict[tuple, object] = {}
+
+
+def profile_scale(name: str) -> float:
+    return DEFAULT_SCALES.get(name, 0.1)
+
+
+def compiled_units(name: str, scale: float | None = None, seed: int = 42,
+                   field_based: bool = True):
+    """Lowered units for a synthetic profile, cached across benches."""
+    scale = scale if scale is not None else profile_scale(name)
+    key = ("units", name, scale, seed, field_based)
+    if key not in _CACHE:
+        program = generate(name, scale=scale, seed=seed)
+        project = program.project(field_based=field_based)
+        _CACHE[key] = (program, project.units())
+    return _CACHE[key]
+
+
+def fresh_store(name: str, scale: float | None = None, seed: int = 42,
+                field_based: bool = True) -> MemoryStore:
+    """A fresh MemoryStore over cached units (stores are stateful)."""
+    _program, units = compiled_units(name, scale, seed, field_based)
+    return MemoryStore(units)
+
+
+@pytest.fixture(scope="session")
+def report(request):
+    """Collector that prints paper-style tables at the end of the run."""
+    lines: list[str] = []
+    yield lines
+    if lines:
+        capmanager = request.config.pluginmanager.getplugin("capturemanager")
+        with capmanager.global_and_fixture_disabled():
+            print()
+            for line in lines:
+                print(line)

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""The paper's context-sensitivity experiment (§4), reproduced.
+
+"we have experimented with context-sensitive analysis by writing a
+transformation that reads in databases and simulates context-sensitivity
+by controlled duplication of primitive assignments in the database — this
+requires no changes to code in the compile, link or analyze components."
+
+This example shows the classic identity-function join point, the
+transform separating it, and off-line variable substitution shrinking the
+database — all through the unchanged analyze phase.
+
+Run with::
+
+    python examples/context_sensitivity.py
+"""
+
+from repro.cla.transform import (
+    ContextSensitivity,
+    DatabaseImage,
+    OfflineVariableSubstitution,
+)
+from repro.driver import Project
+from repro.solvers import PreTransitiveSolver
+
+SOURCE = """
+int red, green, blue;
+
+int *pick(int *candidate) {
+    int *chosen;
+    chosen = candidate;
+    return chosen;
+}
+
+int *first, *second, *third;
+
+void configure(void) {
+    first = pick(&red);
+    second = pick(&green);
+    third = pick(&blue);
+}
+"""
+
+
+def show(result, label):
+    print(f"{label}:")
+    for name in ("first", "second", "third"):
+        print(f"  pts({name}) = {sorted(result.points_to(name))}")
+
+
+def main() -> None:
+    project = Project()
+    project.add_source("pick.c", SOURCE)
+    image = DatabaseImage.from_units(project.units())
+
+    insensitive = PreTransitiveSolver(image.to_store()).solve()
+    show(insensitive, "context-INsensitive (the §5 join-point effect)")
+    print()
+
+    cs = ContextSensitivity(max_sites=4)
+    transformed = cs.apply(image)
+    sensitive = PreTransitiveSolver(transformed.to_store()).solve()
+    print(f"transform cloned {cs.cloned_functions} function(s), adding "
+          f"{cs.added_assignments} duplicated assignments")
+    show(sensitive, "context-sensitive via database duplication")
+    print()
+
+    ovs = OfflineVariableSubstitution()
+    shrunk = ovs.apply(image)
+    print(f"off-line variable substitution (Rountev-Chandra [21]): "
+          f"{len(image.assignments)} -> {len(shrunk.assignments)} "
+          f"assignments ({len(ovs.substituted)} variables substituted)")
+    optimized = PreTransitiveSolver(shrunk.to_store()).solve()
+    recovered = ovs.recover(optimized.pts, "pick.c::pick::chosen")
+    print(f"eliminated variable recovered: pts(chosen) = "
+          f"{sorted(recovered)}")
+    print()
+    print("note the analyze phase never changed — both experiments are")
+    print("pure database-to-database transformations, exactly as §4 says.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,389 @@
+"""AST -> C source rendering.
+
+Primarily a debugging and testing tool: ``parse(unparse(parse(text)))``
+must produce a structurally identical translation unit, which gives the
+parser a strong self-validation loop (exercised by the round-trip tests).
+Also handy for dumping what the frontend actually understood of a file.
+
+C's declarator syntax is inside-out, so type rendering uses the classic
+two-direction algorithm: pointers wrap to the left, arrays and parameter
+lists append to the right, with parentheses whenever a pointer meets a
+suffix (``int (*fp)(void)``, ``int (*ap)[3]``).
+"""
+
+from __future__ import annotations
+
+from . import cast as A
+from .ctypes import (
+    ArrayType,
+    CType,
+    EnumType,
+    FloatType,
+    FunctionType,
+    IntType,
+    PointerType,
+    StructType,
+    UnionType,
+    UnknownType,
+    VoidType,
+)
+
+#: Binary operator precedence, mirrored from the parser.
+_PRECEDENCE = {
+    "||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, ">": 7, "<=": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+_UNARY_LEVEL = 11
+_POSTFIX_LEVEL = 12
+_ASSIGN_LEVEL = 0.5
+_CONDITIONAL_LEVEL = 0.7
+_COMMA_LEVEL = 0.1
+
+
+def _base_name(t: CType) -> str:
+    """The specifier part of a declaration (everything left of the
+    declarator)."""
+    if isinstance(t, (StructType, UnionType)):
+        return f"{t.kind_name} {t.tag}"
+    if isinstance(t, EnumType):
+        return f"enum {t.tag}"
+    if isinstance(t, IntType):
+        sign = "" if t.signed else "unsigned "
+        return f"{sign}{t.kind}"
+    if isinstance(t, FloatType):
+        return t.kind
+    if isinstance(t, VoidType):
+        return "void"
+    if isinstance(t, UnknownType):
+        return "int"  # best effort; unknowns only arise from tolerance paths
+    return "int"
+
+
+def declaration(t: CType, name: str) -> str:
+    """Render ``t name`` in C declarator syntax."""
+    inner = name
+    while True:
+        if isinstance(t, PointerType):
+            quals = "".join(f"{q} " for q in sorted(t.qualifiers))
+            inner = f"*{quals}{inner}" if not quals else f"* {quals}{inner}"
+            t = t.target
+        elif isinstance(t, ArrayType):
+            if inner.startswith("*"):
+                inner = f"({inner})"
+            size = "" if t.length is None else str(t.length)
+            inner = f"{inner}[{size}]"
+            t = t.element
+        elif isinstance(t, FunctionType):
+            if inner.startswith("*"):
+                inner = f"({inner})"
+            if t.unspecified_params:
+                params = ""
+            elif not t.params:
+                params = "void"
+            else:
+                rendered = [
+                    declaration(p.type, p.name or "") .strip()
+                    for p in t.params
+                ]
+                if t.variadic:
+                    rendered.append("...")
+                params = ", ".join(rendered)
+            inner = f"{inner}({params})"
+            t = t.return_type
+        else:
+            quals = "".join(f"{q} " for q in sorted(t.qualifiers))
+            base = _base_name(t)
+            return f"{quals}{base} {inner}".rstrip()
+
+
+def _escape_string(s: str) -> str:
+    out = []
+    for ch in s:
+        if ch == "\\":
+            out.append("\\\\")
+        elif ch == '"':
+            out.append('\\"')
+        elif ch == "\n":
+            out.append("\\n")
+        elif ch == "\t":
+            out.append("\\t")
+        elif ch == "\r":
+            out.append("\\r")
+        elif 32 <= ord(ch) < 127:
+            out.append(ch)
+        else:
+            out.append(f"\\x{ord(ch):02x}")
+    return "".join(out)
+
+
+def _escape_char(code: int) -> str:
+    specials = {10: "\\n", 9: "\\t", 13: "\\r", 0: "\\0", 39: "\\'",
+                92: "\\\\"}
+    if code in specials:
+        return specials[code]
+    if 32 <= code < 127:
+        return chr(code)
+    return f"\\x{code:02x}"
+
+
+class Unparser:
+    """Renders AST nodes back to C text."""
+
+    def __init__(self, indent: str = "    "):
+        self.indent_unit = indent
+        self._emitted_tags: set[str] = set()
+
+    # -- expressions ---------------------------------------------------------
+
+    def expr(self, e: A.Expr, parent_level: float = 0.0) -> str:
+        text, level = self._expr(e)
+        if level < parent_level:
+            return f"({text})"
+        return text
+
+    def _expr(self, e: A.Expr) -> tuple[str, float]:
+        match e:
+            case A.Identifier(name=name):
+                return name, _POSTFIX_LEVEL
+            case A.IntLiteral(value=v, text=text):
+                return (text or str(v)), _POSTFIX_LEVEL
+            case A.FloatLiteral(value=v, text=text):
+                return (text or repr(v)), _POSTFIX_LEVEL
+            case A.CharLiteral(value=v):
+                return f"'{_escape_char(v)}'", _POSTFIX_LEVEL
+            case A.StringLiteral(value=v):
+                return f'"{_escape_string(v)}"', _POSTFIX_LEVEL
+            case A.Unary(op="sizeof", operand=operand):
+                return f"sizeof({self.expr(operand)})", _UNARY_LEVEL
+            case A.Unary(op=op, operand=operand):
+                inner = self.expr(operand, _UNARY_LEVEL)
+                # Adjacent sign operators must not fuse into ++/--:
+                # -(-x) is "- -x", never "--x" (found by the fuzzer).
+                spacer = " " if inner and inner[0] == op[-1] and \
+                    op[-1] in "+-" else ""
+                return f"{op}{spacer}{inner}", _UNARY_LEVEL
+            case A.Postfix(op=op, operand=operand):
+                return (f"{self.expr(operand, _POSTFIX_LEVEL)}{op}",
+                        _POSTFIX_LEVEL)
+            case A.Binary(op=op, left=left, right=right):
+                level = _PRECEDENCE[op]
+                lhs = self.expr(left, level)
+                rhs = self.expr(right, level + 1)
+                return f"{lhs} {op} {rhs}", level
+            case A.Assignment(op=op, lhs=lhs, rhs=rhs):
+                left = self.expr(lhs, _UNARY_LEVEL)
+                right = self.expr(rhs, _ASSIGN_LEVEL)
+                return f"{left} {op} {right}", _ASSIGN_LEVEL
+            case A.Conditional(cond=c, then=t, otherwise=o):
+                return (
+                    f"{self.expr(c, _CONDITIONAL_LEVEL + 0.01)} ? "
+                    f"{self.expr(t)} : {self.expr(o, _CONDITIONAL_LEVEL)}",
+                    _CONDITIONAL_LEVEL,
+                )
+            case A.Call(func=func, args=args):
+                rendered = ", ".join(self.expr(a, _ASSIGN_LEVEL)
+                                     for a in args)
+                return (f"{self.expr(func, _POSTFIX_LEVEL)}({rendered})",
+                        _POSTFIX_LEVEL)
+            case A.Member(base=base, field_name=fname, arrow=arrow):
+                sep = "->" if arrow else "."
+                return (f"{self.expr(base, _POSTFIX_LEVEL)}{sep}{fname}",
+                        _POSTFIX_LEVEL)
+            case A.Index(base=base, index=index):
+                return (f"{self.expr(base, _POSTFIX_LEVEL)}"
+                        f"[{self.expr(index)}]", _POSTFIX_LEVEL)
+            case A.Cast(to_type=t, operand=operand):
+                return (f"({declaration(t, '').strip()})"
+                        f"{self.expr(operand, _UNARY_LEVEL)}", _UNARY_LEVEL)
+            case A.SizeofType(of_type=t):
+                return f"sizeof({declaration(t, '').strip()})", _UNARY_LEVEL
+            case A.Comma(parts=parts):
+                return (", ".join(self.expr(p, _ASSIGN_LEVEL)
+                                  for p in parts), _COMMA_LEVEL)
+            case A.InitList(items=items):
+                inner = ", ".join(self.expr(i, _ASSIGN_LEVEL)
+                                  for i in items)
+                return f"{{ {inner} }}" if items else "{ 0 }", _POSTFIX_LEVEL
+            case A.CompoundLiteral(of_type=t, init=init):
+                return (f"({declaration(t, '').strip()})"
+                        f"{self.expr(init)}", _UNARY_LEVEL)
+            case _:
+                raise NotImplementedError(type(e).__name__)
+
+    # -- statements -----------------------------------------------------------
+
+    def stmt(self, s: "A.Stmt | A.Decl", depth: int) -> list[str]:
+        pad = self.indent_unit * depth
+        match s:
+            case A.Compound():
+                return self.block(s, depth)
+            case A.Decl():
+                return [pad + self.decl_line(s)]
+            case A.ExprStmt(expr=None):
+                return [pad + ";"]
+            case A.ExprStmt(expr=e):
+                return [pad + self.expr(e) + ";"]
+            case A.If(cond=c, then=t, otherwise=o):
+                lines = [pad + f"if ({self.expr(c)})"]
+                lines += self._braced(t, depth)
+                if o is not None:
+                    lines.append(pad + "else")
+                    lines += self._braced(o, depth)
+                return lines
+            case A.While(cond=c, body=b):
+                return [pad + f"while ({self.expr(c)})",
+                        *self._braced(b, depth)]
+            case A.DoWhile(body=b, cond=c):
+                return [pad + "do", *self._braced(b, depth),
+                        pad + f"while ({self.expr(c)});"]
+            case A.For(init=i, cond=c, step=st, body=b):
+                if isinstance(i, list):
+                    init = ", ".join(
+                        self.decl_line(d).rstrip(";") for d in i
+                    ) if i else ""
+                elif i is not None:
+                    init = self.expr(i)
+                else:
+                    init = ""
+                cond = self.expr(c) if c is not None else ""
+                step = self.expr(st) if st is not None else ""
+                return [pad + f"for ({init}; {cond}; {step})",
+                        *self._braced(b, depth)]
+            case A.Return(value=None):
+                return [pad + "return;"]
+            case A.Return(value=v):
+                return [pad + f"return {self.expr(v)};"]
+            case A.Break():
+                return [pad + "break;"]
+            case A.Continue():
+                return [pad + "continue;"]
+            case A.Goto(label=label):
+                return [pad + f"goto {label};"]
+            case A.Label(name=name, stmt=inner):
+                return [pad + f"{name}:", *self.stmt(inner, depth)]
+            case A.Switch(cond=c, body=b):
+                return [pad + f"switch ({self.expr(c)})",
+                        *self._braced(b, depth)]
+            case A.Case(value=v, stmt=inner):
+                return [pad + f"case {self.expr(v)}:",
+                        *self.stmt(inner, depth + 1)]
+            case A.Default(stmt=inner):
+                return [pad + "default:", *self.stmt(inner, depth + 1)]
+            case _:
+                raise NotImplementedError(type(s).__name__)
+
+    def _braced(self, s: "A.Stmt | A.Decl", depth: int) -> list[str]:
+        if isinstance(s, A.Compound):
+            return self.block(s, depth)
+        pad = self.indent_unit * depth
+        return [pad + "{", *self.stmt(s, depth + 1), pad + "}"]
+
+    def block(self, block: A.Compound, depth: int) -> list[str]:
+        pad = self.indent_unit * depth
+        lines = [pad + "{"]
+        for item in block.items:
+            lines += self.stmt(item, depth + 1)
+        lines.append(pad + "}")
+        return lines
+
+    # -- declarations -----------------------------------------------------------
+
+    def decl_line(self, d: A.Decl) -> str:
+        storage = f"{d.storage} " if d.storage else ""
+        body = declaration(d.type, d.name)
+        init = f" = {self.expr(d.init, _ASSIGN_LEVEL)}" if d.init else ""
+        return f"{storage}{body}{init};"
+
+    def type_definitions(self, unit: A.TranslationUnit) -> list[str]:
+        """struct/union/enum definitions referenced by the unit, hoisted."""
+        lines: list[str] = []
+        seen: set[int] = set()
+
+        def visit(t: CType) -> None:
+            if id(t) in seen:
+                return
+            seen.add(id(t))
+            if isinstance(t, (StructType, UnionType)):
+                if not t.is_complete or t.tag in self._emitted_tags:
+                    return
+                if t.tag.startswith("<"):
+                    return  # anonymous: rendered inline where used
+                # Visit field types first (definitions they need), but
+                # guard self reference via the seen set.
+                for f in t.fields or ():
+                    visit(f.type)
+                if t.tag in self._emitted_tags:
+                    return
+                self._emitted_tags.add(t.tag)
+                lines.append(f"{t.kind_name} {t.tag} {{")
+                for f in t.fields or ():
+                    if not f.name and isinstance(f.type,
+                                                 (StructType, UnionType)):
+                        continue  # anonymous members: out of round-trip scope
+                    width = f" : {f.bitwidth}" if f.bitwidth is not None \
+                        else ""
+                    lines.append(
+                        f"    {declaration(f.type, f.name)}{width};"
+                    )
+                lines.append("};")
+            elif isinstance(t, EnumType):
+                if t.tag.startswith("<") or t.tag in self._emitted_tags \
+                        or not t.enumerators:
+                    return
+                self._emitted_tags.add(t.tag)
+                parts = ", ".join(f"{n} = {v}" for n, v in t.enumerators)
+                lines.append(f"enum {t.tag} {{ {parts} }};")
+            elif isinstance(t, PointerType):
+                visit(t.target)
+            elif isinstance(t, ArrayType):
+                visit(t.element)
+            elif isinstance(t, FunctionType):
+                visit(t.return_type)
+                for p in t.params:
+                    visit(p.type)
+
+        for item in unit.items:
+            if isinstance(item, A.Decl):
+                visit(item.type)
+            elif isinstance(item, A.FunctionDef):
+                visit(item.type)
+                for p in item.params:
+                    visit(p.type)
+                for node in A.walk(item.body):
+                    if isinstance(node, A.Decl):
+                        visit(node.type)
+                    elif isinstance(node, (A.Cast, A.CompoundLiteral)):
+                        visit(node.to_type if isinstance(node, A.Cast)
+                              else node.of_type)
+        return lines
+
+    def unit(self, unit: A.TranslationUnit) -> str:
+        self._emitted_tags = set()
+        lines = self.type_definitions(unit)
+        if lines:
+            lines.append("")
+        for item in unit.items:
+            if isinstance(item, A.FunctionDef):
+                storage = f"{item.storage} " if item.storage else ""
+                header = declaration(item.type, item.name)
+                # declaration() renders the FunctionType with its stored
+                # parameter names; reuse it as the definition head.
+                lines.append(f"{storage}{header}")
+                lines += self.block(item.body, 0)
+                lines.append("")
+            else:
+                lines.append(self.decl_line(item))
+        return "\n".join(lines).rstrip() + "\n"
+
+
+def unparse(unit: A.TranslationUnit) -> str:
+    """Render a translation unit back to compilable C text."""
+    return Unparser().unit(unit)
+
+
+def unparse_expr(e: A.Expr) -> str:
+    return Unparser().expr(e)

@@ -1,0 +1,31 @@
+"""CLA: the compile-link-analyze database architecture (paper §4).
+
+* :mod:`repro.cla.objfile` — the sectioned binary format (Figure 4).
+* :mod:`repro.cla.writer` — compile/link phase serializer.
+* :mod:`repro.cla.reader` — mmap demand-loading reader.
+* :mod:`repro.cla.linker` — merges object files into an executable database.
+* :mod:`repro.cla.store` — the ConstraintStore interface solvers consume,
+  with in-memory and on-disk implementations sharing load accounting.
+"""
+
+from .linker import LinkError, link_object_files, link_units, link_units_in_memory
+from .objfile import FormatError, name_hash
+from .reader import DatabaseStore, ObjectFileReader
+from .store import (
+    Block,
+    ConstraintStore,
+    LoadStats,
+    MemoryStore,
+    simple_name_of,
+    trigger_object,
+)
+from .writer import ObjectFileWriter, write_unit
+
+__all__ = [
+    "LinkError", "link_object_files", "link_units", "link_units_in_memory",
+    "FormatError", "name_hash",
+    "DatabaseStore", "ObjectFileReader",
+    "Block", "ConstraintStore", "LoadStats", "MemoryStore",
+    "simple_name_of", "trigger_object",
+    "ObjectFileWriter", "write_unit",
+]

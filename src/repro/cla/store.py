@@ -1,0 +1,240 @@
+"""Constraint stores: where the analyzer gets its assignments from.
+
+A :class:`ConstraintStore` is the analyze-phase view of the CLA database
+(§4): base (``x = &y``) assignments live in an always-loaded *static*
+section; every other assignment lives in the *dynamic* section, in the block
+of its **trigger object** — the object whose points-to/dependence change
+makes the assignment relevant ("a very rough intuition is that whenever z
+changes, the primitive assignments in the block for z tell us what we must
+recompute", Figure 4):
+
+=============  ==============  ===========================================
+assignment     trigger object  why
+=============  ==============  ===========================================
+``x = y``      ``y``           y's values flow to x
+``*p = y``     ``y``           y's values flow through p
+``x = *p``     ``p``           p's targets flow to x
+``*p = *q``    ``q``           q's targets' values flow through p
+``x = &y``     *(static)*      creates the initial lvals
+=============  ==============  ===========================================
+
+Two implementations exist: :class:`MemoryStore` here (straight from lowered
+IR, for tests and in-process pipelines) and
+:class:`~repro.cla.reader.DatabaseStore` (mmap-backed demand loading from a
+CLA object file).  Both expose the same load accounting so Table 3's last
+three columns (in-core / loaded / in-file) can be produced for either.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Protocol
+
+from ..ir.lower import UnitIR
+from ..ir.objects import ObjectKind, ProgramObject
+from ..ir.primitives import (
+    CallSiteRecord,
+    FunctionRecord,
+    IndirectCallRecord,
+    PrimitiveAssignment,
+    PrimitiveKind,
+)
+
+
+def trigger_object(assignment: PrimitiveAssignment) -> str | None:
+    """The dynamic-section block this assignment belongs to (None: static)."""
+    kind = assignment.kind
+    if kind is PrimitiveKind.ADDR:
+        return None
+    if kind is PrimitiveKind.LOAD:
+        return assignment.src  # x = *p: triggered by the pointer p
+    return assignment.src  # COPY / STORE / STORE_LOAD: by the value source
+
+
+@dataclass(slots=True)
+class Block:
+    """One dynamic-section block: an object plus its triggered assignments."""
+
+    obj: ProgramObject
+    assignments: list[PrimitiveAssignment] = field(default_factory=list)
+    function_record: FunctionRecord | None = None
+    indirect_record: IndirectCallRecord | None = None
+
+
+@dataclass(slots=True)
+class LoadStats:
+    """Assignment accounting for Table 3's last three columns."""
+
+    in_file: int = 0  # total primitive assignments in the database
+    loaded: int = 0  # assignments materialised during the analysis
+    in_core: int = 0  # assignments currently retained in memory
+
+    def snapshot(self) -> tuple[int, int, int]:
+        return (self.in_core, self.loaded, self.in_file)
+
+
+class ConstraintStore(Protocol):
+    """What a solver needs from the database."""
+
+    stats: LoadStats
+
+    def static_assignments(self) -> list[PrimitiveAssignment]:
+        """The base (``x = &y``) assignments; loading them is counted."""
+        ...
+
+    def load_block(self, name: str) -> Block | None:
+        """Demand-load one object's block (None if the object has none).
+
+        Loading is counted once per block; repeated calls return the same
+        content without recounting.
+        """
+        ...
+
+    def object_names(self) -> Iterable[str]:
+        ...
+
+    def get_object(self, name: str) -> ProgramObject | None:
+        ...
+
+    def find_targets(self, simple_name: str) -> list[str]:
+        """Canonical names of objects whose source-level name is
+        ``simple_name`` (the target-section hashtable of §4)."""
+        ...
+
+    def block_names(self) -> Iterable[str]:
+        """Names of all objects with a dynamic block (full-scan loading,
+        used by the baseline solvers that need the whole constraint set)."""
+        ...
+
+    def call_sites(self) -> list:
+        """Call-site records (caller -> callee/pointer), for call-graph
+        clients."""
+        ...
+
+    def discard(self, assignments_kept: int) -> None:
+        """Report the analyzer's discard decision (affects ``in_core``)."""
+        ...
+
+
+def simple_name_of(canonical: str) -> str:
+    """The source-level name a user would type for a canonical object name.
+
+    ``a.c::f::x`` -> ``x``;  ``S.x`` -> ``S.x`` (fields are addressed by
+    qualified name, matching the paper's treatment of ``s.x`` targets);
+    ``f$arg1``/``f$ret``/heap/temp names map to themselves.
+    """
+    if "::" in canonical:
+        return canonical.rsplit("::", 1)[-1]
+    return canonical
+
+
+class MemoryStore:
+    """A ConstraintStore over lowered in-memory IR (one or many units)."""
+
+    def __init__(self, units: UnitIR | Iterable[UnitIR]):
+        if isinstance(units, UnitIR):
+            units = [units]
+        self.objects: dict[str, ProgramObject] = {}
+        self._statics: list[PrimitiveAssignment] = []
+        self._blocks: dict[str, Block] = {}
+        self._targets: dict[str, list[str]] = {}
+        self.stats = LoadStats()
+        self._loaded_blocks: set[str] = set()
+        self._statics_loaded = False
+        self._call_sites: list[CallSiteRecord] = []
+        for unit in units:
+            self._absorb(unit)
+
+    def _absorb(self, unit: UnitIR) -> None:
+        for name, obj in unit.objects.items():
+            existing = self.objects.get(name)
+            if existing is None:
+                self.objects[name] = obj
+                self._targets.setdefault(simple_name_of(name), []).append(name)
+            else:
+                # Linking a global seen in several units: keep the richest
+                # metadata (a definition beats a tentative declaration).
+                if existing.location.is_unknown and not obj.location.is_unknown:
+                    existing.location = obj.location
+                if not existing.type_str and obj.type_str:
+                    existing.type_str = obj.type_str
+                    existing.may_point = obj.may_point
+                existing.is_funcptr = existing.is_funcptr or obj.is_funcptr
+        for a in unit.assignments:
+            trigger = trigger_object(a)
+            if trigger is None:
+                self._statics.append(a)
+            else:
+                block = self._ensure_block(trigger)
+                block.assignments.append(a)
+            self.stats.in_file += 1
+        for fname, record in unit.function_records.items():
+            self._ensure_block(fname).function_record = record
+        for pname, record in unit.indirect_calls.items():
+            block = self._ensure_block(pname)
+            if (
+                block.indirect_record is None
+                or len(block.indirect_record.args) < len(record.args)
+            ):
+                block.indirect_record = record
+        self._call_sites.extend(unit.call_sites)
+
+    def _ensure_block(self, name: str) -> Block:
+        block = self._blocks.get(name)
+        if block is None:
+            obj = self.objects.get(name)
+            if obj is None:
+                obj = ProgramObject(name=name, kind=ObjectKind.VARIABLE)
+                self.objects[name] = obj
+                self._targets.setdefault(simple_name_of(name), []).append(name)
+            block = Block(obj=obj)
+            self._blocks[name] = block
+        return block
+
+    # -- ConstraintStore interface ----------------------------------------
+
+    def static_assignments(self) -> list[PrimitiveAssignment]:
+        if not self._statics_loaded:
+            self._statics_loaded = True
+            self.stats.loaded += len(self._statics)
+            self.stats.in_core += len(self._statics)
+        return self._statics
+
+    def load_block(self, name: str) -> Block | None:
+        block = self._blocks.get(name)
+        if block is None:
+            return None
+        if name not in self._loaded_blocks:
+            self._loaded_blocks.add(name)
+            self.stats.loaded += len(block.assignments)
+            self.stats.in_core += len(block.assignments)
+        return block
+
+    def object_names(self) -> Iterable[str]:
+        return self.objects.keys()
+
+    def get_object(self, name: str) -> ProgramObject | None:
+        return self.objects.get(name)
+
+    def find_targets(self, simple_name: str) -> list[str]:
+        return list(self._targets.get(simple_name, []))
+
+    def block_names(self) -> Iterable[str]:
+        return self._blocks.keys()
+
+    def call_sites(self) -> list[CallSiteRecord]:
+        return list(self._call_sites)
+
+    def discard(self, assignments_kept: int) -> None:
+        self.stats.in_core = assignments_kept
+
+    # -- convenience (not part of the protocol) -----------------------------
+
+    def all_assignments(self) -> list[PrimitiveAssignment]:
+        out = list(self._statics)
+        for block in self._blocks.values():
+            out.extend(block.assignments)
+        return out
+
+    def blocks(self) -> dict[str, Block]:
+        return self._blocks

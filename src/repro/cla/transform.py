@@ -1,0 +1,455 @@
+"""Database-to-database transformers (paper §4).
+
+"Finally, we note that we can write pre-analysis optimizers as database to
+database transformers.  In fact, we have experimented with
+context-sensitive analysis by writing a transformation that reads in
+databases and simulates context-sensitivity by controlled duplication of
+primitive assignments in the database — this requires no changes to code
+in the compile, link or analyze components of our system."
+
+This module provides exactly that plumbing:
+
+* :class:`DatabaseImage` — a neutral in-memory form of a CLA database that
+  round-trips through :class:`~repro.cla.reader.ObjectFileReader` /
+  :class:`~repro.cla.writer.ObjectFileWriter`, so transforms compose and
+  work file-to-file;
+* :class:`ContextSensitivity` — the paper's experiment: for functions with
+  few call sites, duplicate the function's argument/return plumbing and
+  body assignments once per call site (bounded cloning, the
+  inlining-flavoured simulation of context sensitivity).  The analyze
+  phase is completely unaware;
+* :class:`OfflineVariableSubstitution` — the pre-analysis optimization of
+  Rountev & Chandra (PLDI 2000), cited as [21]: variables that provably
+  have identical points-to sets (here: pure single-source copy targets
+  whose address is never taken) are substituted away, shrinking the
+  constraint system before any solver sees it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Protocol
+
+from ..cfront.source import Location
+from ..ir.lower import UnitIR
+from ..ir.objects import ObjectKind, ProgramObject
+from ..ir.primitives import (
+    CallSiteRecord,
+    FunctionRecord,
+    IndirectCallRecord,
+    PrimitiveAssignment,
+    PrimitiveKind,
+)
+from .reader import ObjectFileReader
+from .store import MemoryStore
+from .writer import ObjectFileWriter
+
+
+@dataclass
+class DatabaseImage:
+    """A CLA database as plain data, independent of storage."""
+
+    objects: dict[str, ProgramObject] = field(default_factory=dict)
+    assignments: list[PrimitiveAssignment] = field(default_factory=list)
+    function_records: dict[str, FunctionRecord] = field(default_factory=dict)
+    indirect_records: dict[str, IndirectCallRecord] = field(
+        default_factory=dict
+    )
+    call_sites: list[CallSiteRecord] = field(default_factory=list)
+    source_lines: int = 0
+    field_based: bool = True
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_file(cls, path: str) -> "DatabaseImage":
+        with ObjectFileReader(path) as reader:
+            image = cls(source_lines=reader.source_lines,
+                        field_based=reader.field_based)
+            for obj in reader.objects():
+                image.objects[obj.name] = obj
+            image.assignments.extend(reader.static_assignments())
+            for name in reader.block_names():
+                block = reader.load_block(name)
+                if block is None:
+                    continue
+                image.assignments.extend(block.assignments)
+                if block.function_record is not None:
+                    image.function_records[name] = block.function_record
+                if block.indirect_record is not None:
+                    image.indirect_records[name] = block.indirect_record
+            image.call_sites = reader.call_sites()
+        return image
+
+    @classmethod
+    def from_units(cls, units: Iterable[UnitIR],
+                   field_based: bool = True) -> "DatabaseImage":
+        image = cls(field_based=field_based)
+        store = MemoryStore(list(units))
+        image.objects = dict(store.objects)
+        image.assignments = store.all_assignments()
+        for name, block in store.blocks().items():
+            if block.function_record is not None:
+                image.function_records[name] = block.function_record
+            if block.indirect_record is not None:
+                image.indirect_records[name] = block.indirect_record
+        image.call_sites = store.call_sites()
+        return image
+
+    # -- output -------------------------------------------------------------
+
+    def to_unit(self) -> UnitIR:
+        unit = UnitIR(filename="<transformed>")
+        unit.objects = dict(self.objects)
+        unit.assignments = list(self.assignments)
+        unit.function_records = dict(self.function_records)
+        unit.indirect_calls = dict(self.indirect_records)
+        unit.call_sites = list(self.call_sites)
+        unit.source_lines = self.source_lines
+        return unit
+
+    def to_store(self) -> MemoryStore:
+        return MemoryStore(self.to_unit())
+
+    def write(self, path: str) -> None:
+        writer = ObjectFileWriter(field_based=self.field_based, linked=True)
+        writer.add_unit(self.to_unit())
+        writer.source_lines = self.source_lines
+        writer.write(path)
+
+    # -- helpers shared by transforms ----------------------------------------
+
+    def address_taken(self) -> set[str]:
+        return {a.src for a in self.assignments
+                if a.kind is PrimitiveKind.ADDR}
+
+    def ensure_object(self, name: str, like: ProgramObject | None = None,
+                      kind: ObjectKind = ObjectKind.VARIABLE) -> None:
+        if name in self.objects:
+            return
+        if like is not None:
+            self.objects[name] = ProgramObject(
+                name=name, kind=like.kind, type_str=like.type_str,
+                location=like.location,
+                enclosing_function=like.enclosing_function,
+                is_global=like.is_global, may_point=like.may_point,
+                is_funcptr=like.is_funcptr,
+            )
+        else:
+            self.objects[name] = ProgramObject(name=name, kind=kind)
+
+
+class DatabaseTransform(Protocol):
+    """A pre-analysis optimizer: database in, database out."""
+
+    name: str
+
+    def apply(self, image: DatabaseImage) -> DatabaseImage: ...
+
+
+def transform_file(
+    in_path: str, out_path: str, transforms: list[DatabaseTransform]
+) -> DatabaseImage:
+    """Run transforms file-to-file, exactly as the paper describes."""
+    image = DatabaseImage.from_file(in_path)
+    for transform in transforms:
+        image = transform.apply(image)
+    image.write(out_path)
+    return image
+
+
+# ---------------------------------------------------------------------------
+# Context sensitivity by controlled duplication (the paper's experiment)
+# ---------------------------------------------------------------------------
+
+
+class ContextSensitivity:
+    """Simulate context-sensitive analysis by duplicating a function's
+    primitive assignments per call site.
+
+    For each function ``f`` that (a) has a function record, (b) is never
+    address-taken (indirect calls must keep the shared plumbing), and
+    (c) has between 2 and ``max_sites`` direct call sites, every call
+    site ``k`` gets private copies ``f$argN@k`` / ``f$ret@k`` of the
+    standardized variables and private copies of every body assignment
+    (locals renamed ``l@k``).  Call sites are identified by the source
+    location the lowering stamped on their argument/return assignments.
+
+    The join-point effect of context insensitivity (§5) disappears for the
+    cloned functions: ``a = id(&x); b = id(&y)`` yields ``pts(a) = {x}``
+    and ``pts(b) = {y}`` instead of both getting both.
+    """
+
+    name = "context-sensitivity"
+
+    def __init__(self, max_sites: int = 4):
+        self.max_sites = max_sites
+        self.cloned_functions = 0
+        self.added_assignments = 0
+
+    def apply(self, image: DatabaseImage) -> DatabaseImage:
+        address_taken = image.address_taken()
+        out = DatabaseImage(
+            objects=dict(image.objects),
+            function_records=dict(image.function_records),
+            indirect_records=dict(image.indirect_records),
+            call_sites=list(image.call_sites),
+            source_lines=image.source_lines,
+            field_based=image.field_based,
+        )
+
+        interface: dict[str, str] = {}  # f$argN / f$ret -> function
+        for fname, record in image.function_records.items():
+            for arg in record.args:
+                interface[arg] = fname
+            interface[record.ret] = fname
+
+        def local_owner(name: str) -> str | None:
+            """The function whose *body locals* include this object.
+
+            Interface variables (f$argN/f$ret) also carry an enclosing
+            function but are classified through ``interface`` instead.
+            """
+            obj = image.objects.get(name)
+            if (
+                obj is not None
+                and obj.enclosing_function
+                and obj.kind in (ObjectKind.VARIABLE, ObjectKind.TEMP)
+                and not obj.is_global
+            ):
+                return obj.enclosing_function
+            return None
+
+        # Classification: every assignment gets an optional body owner
+        # (the function whose locals it touches) and an optional callee
+        # (the function whose interface it feeds/reads at a call site).
+        # The same assignment can be both — a call buried in a body.
+        owners: list[str | None] = []
+        callees: list[str | None] = []
+        uncloneable: set[str] = set()
+        site_keys: dict[str, set[tuple]] = {}
+
+        for a in image.assignments:
+            owner = local_owner(a.dst) or local_owner(a.src)
+            f_dst = interface.get(a.dst)
+            f_src = interface.get(a.src)
+            callee: str | None = None
+            if f_dst is not None and f_dst != owner:
+                callee = f_dst
+            elif f_src is not None and f_src != owner:
+                callee = f_src
+            if owner is None and f_dst is not None and f_src is not None \
+                    and f_dst != f_src:
+                # g(f(...))-style plumbing between two interfaces with no
+                # local in between: too entangled, clone neither.
+                uncloneable.add(f_dst)
+                uncloneable.add(f_src)
+                callee = None
+            if owner is None and callee is None and f_dst is not None:
+                owner = f_dst  # pure intra-interface (f$ret = f$arg1)
+            owners.append(owner)
+            callees.append(callee)
+            if callee is not None:
+                # Site key is (file, line): the argument and return
+                # assignments of one call share the line but not the
+                # column.  Two calls on one line merge into one context —
+                # a sound approximation.
+                site_keys.setdefault(callee, set()).add(
+                    (a.location.filename, a.location.line)
+                )
+
+        cloneable: set[str] = set()
+        for fname, sites in site_keys.items():
+            record = image.function_records.get(fname)
+            if record is None or fname in address_taken \
+                    or fname in uncloneable:
+                continue
+            if 2 <= len(sites) <= self.max_sites:
+                cloneable.add(fname)
+        # An assignment that is simultaneously a body statement of a
+        # cloneable caller and a call site of a cloneable callee would
+        # need a clone per (caller-context, callee-context) pair; keep the
+        # callee shared instead (one level of context, like the paper's
+        # "controlled" duplication).
+        for owner, callee in zip(owners, callees):
+            if owner in cloneable and callee in cloneable:
+                cloneable.discard(callee)
+
+        caller_sites: dict[str, list[tuple]] = {
+            fname: sorted(site_keys[fname]) for fname in cloneable
+        }
+        site_index: dict[str, dict[tuple, int]] = {
+            fname: {key: k for k, key in enumerate(keys)}
+            for fname, keys in caller_sites.items()
+        }
+        self.cloned_functions = len(cloneable)
+
+        def rename(name: str, fname: str, k: int) -> str:
+            if interface.get(name) == fname or local_owner(name) == fname:
+                return f"{name}@{k}"
+            return name
+
+        def clone(a: PrimitiveAssignment, fname: str, k: int
+                  ) -> PrimitiveAssignment:
+            dst = rename(a.dst, fname, k)
+            src = rename(a.src, fname, k)
+            for name, original in ((dst, a.dst), (src, a.src)):
+                if name != original:
+                    out.ensure_object(name, like=image.objects.get(original))
+            return PrimitiveAssignment(
+                kind=a.kind, dst=dst, src=src, strength=a.strength,
+                op=a.op, location=a.location,
+            )
+
+        emitted: list[PrimitiveAssignment] = []
+        for i, a in enumerate(image.assignments):
+            owner, callee = owners[i], callees[i]
+            if owner in cloneable:
+                # One private copy of the body statement per caller site.
+                for k in range(len(caller_sites[owner])):
+                    emitted.append(clone(a, owner, k))
+                    self.added_assignments += 1
+                self.added_assignments -= 1  # replaced, not purely added
+            elif callee in cloneable:
+                key = (a.location.filename, a.location.line)
+                k = site_index[callee][key]
+                emitted.append(clone(a, callee, k))
+            else:
+                emitted.append(a)
+
+        out.assignments = emitted
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Off-line variable substitution (Rountev & Chandra, the paper's [21])
+# ---------------------------------------------------------------------------
+
+
+class OfflineVariableSubstitution:
+    """Collapse variables that provably share their points-to set.
+
+    The safe, simple core of [21]: a variable ``x`` whose *only* value
+    source is a single plain copy ``x = y`` (direct, no operation), whose
+    address is never taken, and which is never written through a pointer
+    (conservatively: appears in no complex assignment's written side) has
+    ``pts(x) == pts(y)`` at fixpoint — so every occurrence of ``x`` can be
+    replaced by ``y`` and the copy dropped.  Chains collapse transitively.
+
+    This shrinks the constraint system before the analyze phase; results
+    for the *surviving* variables are bit-identical, and the substitution
+    map lets clients recover the eliminated ones.
+    """
+
+    name = "offline-variable-substitution"
+
+    def __init__(self):
+        self.substituted: dict[str, str] = {}
+        self.removed_assignments = 0
+
+    def apply(self, image: DatabaseImage) -> DatabaseImage:
+        address_taken = image.address_taken()
+        sources: dict[str, list[PrimitiveAssignment]] = {}
+        store_written: set[str] = set()
+        protected: set[str] = set()
+
+        for record in image.function_records.values():
+            protected.update(record.args)
+            protected.add(record.ret)
+        for record in image.indirect_records.values():
+            protected.update(record.args)
+            protected.add(record.ret)
+
+        for a in image.assignments:
+            if a.kind in (PrimitiveKind.COPY, PrimitiveKind.ADDR,
+                          PrimitiveKind.LOAD):
+                sources.setdefault(a.dst, []).append(a)
+            if a.kind in (PrimitiveKind.STORE, PrimitiveKind.STORE_LOAD):
+                # *p = ...: anything p may point to gains a source we can't
+                # see offline; forbid substituting potential targets, i.e.
+                # all address-taken objects (they are excluded anyway).
+                pass
+
+        def substitutable(name: str) -> str | None:
+            if name in address_taken or name in protected:
+                return None
+            obj = image.objects.get(name)
+            if obj is not None and obj.kind in (ObjectKind.FUNCTION,
+                                                ObjectKind.HEAP,
+                                                ObjectKind.FIELD):
+                return None
+            defs = sources.get(name, [])
+            if len(defs) != 1:
+                return None
+            d = defs[0]
+            if d.kind is not PrimitiveKind.COPY or d.op:
+                return None
+            if d.src == name:
+                return None
+            if d.src in protected:
+                # Never substitute into a function-interface variable: a
+                # later transform (context-sensitivity cloning) may rename
+                # those, which would strand the substitution mapping.
+                return None
+            return d.src
+
+        # Resolve chains with cycle detection.
+        resolved: dict[str, str] = {}
+
+        def resolve(name: str, seen: set[str]) -> str:
+            if name in resolved:
+                return resolved[name]
+            if name in seen:
+                return name
+            seen.add(name)
+            target = substitutable(name)
+            final = name if target is None else resolve(target, seen)
+            resolved[name] = final
+            return final
+
+        for name in list(image.objects):
+            resolve(name, set())
+        self.substituted = {
+            name: final for name, final in resolved.items() if final != name
+        }
+
+        out = DatabaseImage(
+            objects={},
+            function_records=dict(image.function_records),
+            indirect_records=dict(image.indirect_records),
+            call_sites=list(image.call_sites),
+            source_lines=image.source_lines,
+            field_based=image.field_based,
+        )
+        for name, obj in image.objects.items():
+            if name not in self.substituted:
+                out.objects[name] = obj
+        seen_keys: set[tuple] = set()
+        for a in image.assignments:
+            dst = resolved.get(a.dst, a.dst)
+            src = resolved.get(a.src, a.src)
+            if a.kind is PrimitiveKind.COPY and dst == src:
+                self.removed_assignments += 1
+                continue
+            if a.dst in self.substituted and a.kind is PrimitiveKind.COPY \
+                    and resolved.get(a.src, a.src) == dst:
+                self.removed_assignments += 1
+                continue
+            key = (a.kind, dst, src, a.op, a.strength)
+            if key in seen_keys:
+                self.removed_assignments += 1
+                continue
+            seen_keys.add(key)
+            out.assignments.append(PrimitiveAssignment(
+                kind=a.kind, dst=dst, src=src, strength=a.strength,
+                op=a.op, location=a.location,
+            ))
+            out.ensure_object(dst, like=image.objects.get(a.dst))
+            out.ensure_object(src, like=image.objects.get(a.src))
+        return out
+
+    def recover(self, result_pts: dict[str, frozenset[str]],
+                name: str) -> frozenset[str]:
+        """Points-to set of an eliminated variable, via its representative."""
+        representative = self.substituted.get(name, name)
+        return result_pts.get(representative, frozenset())

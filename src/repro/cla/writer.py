@@ -1,0 +1,267 @@
+"""Serializer for CLA object files and linked executables.
+
+The same writer serves the compile phase (one translation unit's IR) and
+the link phase (merged databases): "The 'executable' file produced has the
+same format as the object files" (§4).
+"""
+
+from __future__ import annotations
+
+import io
+
+from ..cfront.source import Location
+from ..ir.lower import UnitIR
+from ..ir.objects import ProgramObject
+from ..ir.primitives import (
+    CallSiteRecord,
+    FunctionRecord,
+    IndirectCallRecord,
+    PrimitiveAssignment,
+)
+from . import objfile as F
+from .store import Block, MemoryStore, simple_name_of, trigger_object
+
+
+class ObjectFileWriter:
+    """Accumulates database content, then writes one object file."""
+
+    def __init__(self, field_based: bool = True, linked: bool = False):
+        self.field_based = field_based
+        self.linked = linked
+        self.source_lines = 0
+        self.objects: dict[str, ProgramObject] = {}
+        self.statics: list[PrimitiveAssignment] = []
+        self.blocks: dict[str, Block] = {}
+        self.call_sites: list[CallSiteRecord] = []
+
+    # -- content intake -----------------------------------------------------
+
+    def add_unit(self, unit: UnitIR) -> None:
+        """Add one lowered translation unit (the compile phase)."""
+        self.source_lines += unit.source_lines
+        for name, obj in unit.objects.items():
+            self._merge_object(name, obj)
+        for a in unit.assignments:
+            self.add_assignment(a)
+        for record in unit.function_records.values():
+            self._ensure_block(record.function).function_record = record
+        for record in unit.indirect_calls.values():
+            block = self._ensure_block(record.pointer)
+            if (
+                block.indirect_record is None
+                or len(block.indirect_record.args) < len(record.args)
+            ):
+                block.indirect_record = record
+        self.call_sites.extend(unit.call_sites)
+
+    def add_store(self, store: MemoryStore, source_lines: int = 0) -> None:
+        """Add a merged in-memory database (the link phase)."""
+        self.source_lines += source_lines
+        for name, obj in store.objects.items():
+            self._merge_object(name, obj)
+        for a in store.static_assignments():
+            self.statics.append(a)
+        for name, block in store.blocks().items():
+            mine = self._ensure_block(name)
+            mine.assignments.extend(block.assignments)
+            if block.function_record is not None:
+                mine.function_record = block.function_record
+            if block.indirect_record is not None:
+                if (
+                    mine.indirect_record is None
+                    or len(mine.indirect_record.args)
+                    < len(block.indirect_record.args)
+                ):
+                    mine.indirect_record = block.indirect_record
+        self.call_sites.extend(store.call_sites())
+
+    def add_assignment(self, a: PrimitiveAssignment) -> None:
+        trigger = trigger_object(a)
+        if trigger is None:
+            self.statics.append(a)
+        else:
+            self._ensure_block(trigger).assignments.append(a)
+
+    def _merge_object(self, name: str, obj: ProgramObject) -> None:
+        existing = self.objects.get(name)
+        if existing is None:
+            self.objects[name] = obj
+            return
+        if existing.location.is_unknown and not obj.location.is_unknown:
+            existing.location = obj.location
+        if not existing.type_str and obj.type_str:
+            existing.type_str = obj.type_str
+            existing.may_point = obj.may_point
+        existing.is_funcptr = existing.is_funcptr or obj.is_funcptr
+
+    def _ensure_block(self, name: str) -> Block:
+        block = self.blocks.get(name)
+        if block is None:
+            obj = self.objects.get(name)
+            if obj is None:
+                from ..ir.objects import ObjectKind
+
+                obj = ProgramObject(name=name, kind=ObjectKind.VARIABLE)
+                self.objects[name] = obj
+            block = Block(obj=obj)
+            self.blocks[name] = block
+        return block
+
+    # -- serialization --------------------------------------------------------
+
+    def write(self, path: str) -> None:
+        with open(path, "wb") as f:
+            f.write(self.serialize())
+
+    def serialize(self) -> bytes:
+        strtab = F.StringTable()
+
+        def loc_refs(loc: Location) -> tuple[int, int]:
+            return strtab.intern(loc.filename), loc.line
+
+        def pack_assignment(a: PrimitiveAssignment) -> bytes:
+            file_ref, line = loc_refs(a.location)
+            return F.ASSIGNMENT_ENTRY.pack(
+                int(a.kind), a.strength.value, 0,
+                strtab.intern(a.dst), strtab.intern(a.src),
+                strtab.intern(a.op), file_ref, line,
+            )
+
+        # global section ----------------------------------------------------
+        global_buf = io.BytesIO()
+        ordered_objects = sorted(self.objects.values(), key=lambda o: o.name)
+        global_buf.write(F.COUNT.pack(len(ordered_objects)))
+        for obj in ordered_objects:
+            flags = 0
+            if obj.is_global:
+                flags |= F.OBJ_FLAG_GLOBAL
+            if obj.may_point:
+                flags |= F.OBJ_FLAG_MAY_POINT
+            if obj.is_funcptr:
+                flags |= F.OBJ_FLAG_FUNCPTR
+            file_ref, line = loc_refs(obj.location)
+            global_buf.write(
+                F.OBJECT_ENTRY.pack(
+                    strtab.intern(obj.name), strtab.intern(obj.type_str),
+                    file_ref, line,
+                    strtab.intern(obj.enclosing_function),
+                    int(obj.kind), flags, 0,
+                )
+            )
+
+        # static section ----------------------------------------------------
+        static_buf = io.BytesIO()
+        static_buf.write(F.COUNT.pack(len(self.statics)))
+        for a in self.statics:
+            static_buf.write(pack_assignment(a))
+
+        # target section ----------------------------------------------------
+        target_entries = []
+        for obj in ordered_objects:
+            simple = simple_name_of(obj.name)
+            target_entries.append(
+                (F.name_hash(simple), strtab.intern(simple),
+                 strtab.intern(obj.name))
+            )
+        target_entries.sort()
+        target_buf = io.BytesIO()
+        target_buf.write(F.COUNT.pack(len(target_entries)))
+        for entry in target_entries:
+            target_buf.write(F.TARGET_ENTRY.pack(*entry))
+
+        # dynamic section + index ---------------------------------------------
+        dynamic_buf = io.BytesIO()
+        index_entries: list[tuple[int, int, int, int]] = []
+        for name in sorted(self.blocks):
+            block = self.blocks[name]
+            offset = dynamic_buf.tell()
+            flags = 0
+            if block.function_record is not None:
+                flags |= F.BLOCK_FLAG_FUNCTION
+            if block.indirect_record is not None:
+                flags |= F.BLOCK_FLAG_INDIRECT
+            dynamic_buf.write(
+                F.BLOCK_HEADER.pack(
+                    strtab.intern(name), len(block.assignments), flags, 0, 0
+                )
+            )
+            for a in block.assignments:
+                dynamic_buf.write(pack_assignment(a))
+            if block.function_record is not None:
+                r = block.function_record
+                file_ref, line = loc_refs(r.location)
+                dynamic_buf.write(
+                    F.FUNC_RECORD_HEADER.pack(
+                        strtab.intern(r.ret), int(r.variadic), 0, 0,
+                        len(r.args), file_ref, line,
+                    )
+                )
+                for arg in r.args:
+                    dynamic_buf.write(F.COUNT.pack(strtab.intern(arg)))
+            if block.indirect_record is not None:
+                r = block.indirect_record
+                file_ref, line = loc_refs(r.location)
+                dynamic_buf.write(
+                    F.INDIRECT_RECORD_HEADER.pack(
+                        strtab.intern(r.ret), len(r.args), file_ref, line,
+                    )
+                )
+                for arg in r.args:
+                    dynamic_buf.write(F.COUNT.pack(strtab.intern(arg)))
+            size = dynamic_buf.tell() - offset
+            index_entries.append(
+                (F.name_hash(name), strtab.intern(name), offset, size)
+            )
+
+        index_entries.sort()
+        index_buf = io.BytesIO()
+        index_buf.write(F.COUNT.pack(len(index_entries)))
+        for entry in index_entries:
+            index_buf.write(F.DYNIDX_ENTRY.pack(*entry))
+
+        # calls section ------------------------------------------------------
+        calls_buf = io.BytesIO()
+        calls_buf.write(F.COUNT.pack(len(self.call_sites)))
+        for record in self.call_sites:
+            file_ref, line = loc_refs(record.location)
+            flags = F.CALL_FLAG_INDIRECT if record.indirect else 0
+            calls_buf.write(F.CALL_ENTRY.pack(
+                strtab.intern(record.caller), strtab.intern(record.target),
+                flags, 0, 0, file_ref, line,
+            ))
+
+        # assemble -------------------------------------------------------------
+        sections = [
+            (F.SEC_STRTAB, strtab.data()),
+            (F.SEC_GLOBAL, global_buf.getvalue()),
+            (F.SEC_STATIC, static_buf.getvalue()),
+            (F.SEC_TARGET, target_buf.getvalue()),
+            (F.SEC_DYNAMIC, dynamic_buf.getvalue()),
+            (F.SEC_DYNIDX, index_buf.getvalue()),
+            (F.SEC_CALLS, calls_buf.getvalue()),
+        ]
+        flags = 0
+        if self.field_based:
+            flags |= F.FLAG_FIELD_BASED
+        if self.linked:
+            flags |= F.FLAG_LINKED
+        header_size = F.HEADER.size + len(sections) * F.SECTION_ENTRY.size
+        out = io.BytesIO()
+        out.write(
+            F.HEADER.pack(F.MAGIC, F.VERSION, flags, len(sections), 0,
+                          self.source_lines, 0)
+        )
+        offset = header_size
+        for tag, data in sections:
+            out.write(F.SECTION_ENTRY.pack(tag, offset, len(data)))
+            offset += len(data)
+        for _tag, data in sections:
+            out.write(data)
+        return out.getvalue()
+
+
+def write_unit(unit: UnitIR, path: str, field_based: bool = True) -> None:
+    """Compile-phase convenience: one translation unit -> one object file."""
+    writer = ObjectFileWriter(field_based=field_based)
+    writer.add_unit(unit)
+    writer.write(path)

@@ -1,0 +1,480 @@
+"""The ``repro-cla`` command-line tool.
+
+Mirrors the paper's toolchain: separate *compile* and *link* steps over
+object files, an *analyze* step with pluggable solvers, the *depend*
+forward-dependence tool (§2), plus ``synth`` to generate benchmark code
+bases, ``dump`` to inspect a database, and ``bench`` to regenerate the
+paper's tables.
+
+Examples::
+
+    repro-cla compile a.c -o a.o
+    repro-cla compile b.c -o b.o
+    repro-cla link a.o b.o -o prog.cla
+    repro-cla analyze prog.cla --query p --query q
+    repro-cla depend prog.cla --target x --limit 20
+    repro-cla synth gimp --scale 0.05 -o /tmp/gimp-like
+    repro-cla bench table3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..cla.reader import DatabaseStore, ObjectFileReader
+from ..depend.analysis import DependenceAnalysis
+from ..depend.chains import render_all, summarize
+from ..metrics import format_table, human_count, measure
+from ..solvers import SOLVERS
+from . import tables
+from .api import CompileOptions, analyze_store, compile_file, link_objects
+from ..cla.writer import write_unit
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-cla",
+        description="CLA points-to & dependence analysis "
+                    "(PLDI 2001 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="compile one C file to an object file")
+    p.add_argument("source")
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("-I", "--include", action="append", default=[],
+                   help="add an #include search directory")
+    p.add_argument("-D", "--define", action="append", default=[],
+                   help="predefine a macro (NAME or NAME=VALUE)")
+    p.add_argument("--field-independent", action="store_true",
+                   help="use the field-independent struct model")
+    p.add_argument("--struct-model",
+                   choices=["field_based", "field_independent",
+                            "offset_based"],
+                   help="struct model (overrides --field-independent); "
+                        "offset_based is the paper's future-work model")
+    p.add_argument("--track-strings", action="store_true",
+                   help="model string literals as objects")
+    p.add_argument("--heap-model", default="site",
+                   choices=["site", "function", "single"],
+                   help="allocation-site granularity (§6 setup (a))")
+
+    p = sub.add_parser("link", help="link object files into a database")
+    p.add_argument("objects", nargs="+")
+    p.add_argument("-o", "--output", required=True)
+
+    p = sub.add_parser("analyze", help="run points-to analysis")
+    p.add_argument("database")
+    p.add_argument("--solver", default="pretransitive",
+                   choices=sorted(SOLVERS))
+    p.add_argument("--query", action="append", default=[],
+                   help="print the points-to set of this object")
+    p.add_argument("--no-demand", action="store_true",
+                   help="preload the whole database (pretransitive only)")
+    p.add_argument("--top", type=int, default=0,
+                   help="print the N largest points-to sets")
+    p.add_argument("--dot", dest="dot_out", metavar="FILE",
+                   help="write the points-to graph as Graphviz DOT")
+    p.add_argument("--json", dest="json_out", metavar="FILE",
+                   help="write the full points-to relation as JSON "
+                        "('-' for stdout)")
+
+    p = sub.add_parser("depend", help="forward dependence analysis (§2)")
+    p.add_argument("database")
+    p.add_argument("--target", required=True,
+                   help="source-level name of the target object")
+    p.add_argument("--non-target", action="append", default=[],
+                   help="canonical object name to exclude (§2 non-targets)")
+    p.add_argument("--solver", default="pretransitive",
+                   choices=sorted(SOLVERS))
+    p.add_argument("--limit", type=int, default=25,
+                   help="print at most this many chains")
+    p.add_argument("--tree", action="store_true",
+                   help="render the dependence forest (§2's chain browser)")
+    p.add_argument("--min-strength", default="weak",
+                   choices=["weak", "strong", "direct"],
+                   help="drop chains weaker than this (triage filter)")
+    p.add_argument("--json", dest="json_out", metavar="FILE",
+                   help="write a JSON report to FILE ('-' for stdout)")
+    p.add_argument("--csv", dest="csv_out", metavar="FILE",
+                   help="write a CSV report to FILE ('-' for stdout)")
+    p.add_argument("--dot", dest="dot_out", metavar="FILE",
+                   help="write the dependence forest as Graphviz DOT")
+
+    p = sub.add_parser("callgraph", help="whole-program call graph "
+                                          "(direct + resolved indirect)")
+    p.add_argument("database")
+    p.add_argument("--solver", default="pretransitive",
+                   choices=sorted(SOLVERS))
+    p.add_argument("--dot", dest="dot_out", metavar="FILE",
+                   help="write Graphviz DOT ('-' for stdout)")
+    p.add_argument("--roots", action="append", default=[],
+                   help="report functions unreachable from these roots")
+
+    p = sub.add_parser("dump", help="inspect a CLA object file")
+    p.add_argument("objectfile")
+    p.add_argument("--block", help="dump one object's dynamic block")
+    p.add_argument("--statics", action="store_true",
+                   help="dump the static (x = &y) section")
+
+    p = sub.add_parser("synth", help="generate a synthetic code base")
+    p.add_argument("profile")
+    p.add_argument("-o", "--output", required=True,
+                   help="directory to write the .c/.h files into")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("transform",
+                       help="database-to-database transforms (§4)")
+    p.add_argument("input")
+    p.add_argument("output")
+    p.add_argument("--ovs", action="store_true",
+                   help="off-line variable substitution (Rountev-Chandra)")
+    p.add_argument("--context-sensitivity", type=int, metavar="K",
+                   default=0,
+                   help="clone functions with 2..K call sites")
+
+    p = sub.add_parser("bench", help="regenerate a paper table")
+    p.add_argument(
+        "table",
+        choices=["table1", "table2", "table3", "table4", "ablation",
+                 "solvers", "demand"],
+    )
+    p.add_argument("--scale", type=float, default=None,
+                   help="override the per-profile default scale")
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--profile", action="append", default=None,
+                   help="restrict to specific benchmark profiles")
+    return parser
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    predefined = {}
+    for item in args.define:
+        name, _, value = item.partition("=")
+        predefined[name] = value or "1"
+    options = CompileOptions(
+        field_based=not args.field_independent,
+        struct_model=args.struct_model,
+        heap_model=args.heap_model,
+        track_strings=args.track_strings,
+        include_dirs=args.include,
+        predefined=predefined,
+    )
+    unit = compile_file(args.source, options)
+    write_unit(unit, args.output, field_based=options.field_based)
+    print(
+        f"{args.output}: {len(unit.assignments)} primitive assignments, "
+        f"{len(unit.objects)} objects"
+    )
+    return 0
+
+
+def _cmd_link(args: argparse.Namespace) -> int:
+    link_objects(args.objects, args.output)
+    with ObjectFileReader(args.output) as reader:
+        print(
+            f"{args.output}: {reader.object_count()} objects, "
+            f"{reader.assignment_count()} assignments"
+        )
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    store = DatabaseStore.open(args.database)
+    try:
+        kwargs = {}
+        if args.solver == "pretransitive" and args.no_demand:
+            kwargs["demand_load"] = False
+        m = measure(lambda: analyze_store(store, args.solver, **kwargs))
+        result = m.result
+        print(
+            f"solver={args.solver} pointers={result.pointer_variables()} "
+            f"relations={human_count(result.points_to_relations())} "
+            f"real={m.real_seconds:.2f}s user={m.user_seconds:.2f}s "
+            f"space={m.peak_rss_mb:.0f}MB"
+        )
+        print(
+            f"assignments: in core={store.stats.in_core} "
+            f"loaded={store.stats.loaded} in file={store.stats.in_file}"
+        )
+        for query in args.query:
+            names = store.find_targets(query) or [query]
+            for name in names:
+                targets = sorted(result.points_to(name))
+                shown = ", ".join(targets[:20])
+                more = f" ... (+{len(targets) - 20})" if len(targets) > 20 else ""
+                print(f"pts({name}) = {{{shown}{more}}}  [{len(targets)}]")
+        if args.top:
+            largest = sorted(
+                result.pts.items(), key=lambda kv: -len(kv[1])
+            )[: args.top]
+            for name, targets in largest:
+                print(f"{len(targets):8d}  {name}")
+        if args.dot_out:
+            from .export import points_to_dot
+
+            dot = points_to_dot(result, include=args.query)
+            if args.dot_out == "-":
+                print(dot, end="")
+            else:
+                with open(args.dot_out, "w") as f:
+                    f.write(dot)
+        if args.json_out:
+            import json
+
+            payload = json.dumps({
+                "solver": args.solver,
+                "pointer_variables": result.pointer_variables(),
+                "points_to_relations": result.points_to_relations(),
+                "assignments": {
+                    "in_core": store.stats.in_core,
+                    "loaded": store.stats.loaded,
+                    "in_file": store.stats.in_file,
+                },
+                "points_to": {
+                    name: sorted(targets)
+                    for name, targets in sorted(result.pts.items())
+                    if targets
+                },
+            }, indent=2)
+            if args.json_out == "-":
+                print(payload)
+            else:
+                with open(args.json_out, "w") as f:
+                    f.write(payload)
+    finally:
+        store.close()
+    return 0
+
+
+def _cmd_depend(args: argparse.Namespace) -> int:
+    store = DatabaseStore.open(args.database)
+    try:
+        points_to = analyze_store(store, args.solver)
+        analysis = DependenceAnalysis(store, points_to)
+        targets = analysis.resolve_targets(args.target)
+        if not targets:
+            print(f"error: no object named {args.target!r}", file=sys.stderr)
+            return 1
+        from ..ir.strength import Strength
+
+        threshold = Strength[args.min_strength.upper()]
+        result = analysis.analyze(targets, frozenset(args.non_target),
+                                  min_strength=threshold)
+        counts = summarize(result)
+        total = sum(counts.values())
+        print(
+            f"{total} dependent objects "
+            f"(direct={counts['direct']} strong={counts['strong']} "
+            f"weak={counts['weak']}); blocks loaded: {result.blocks_loaded}"
+        )
+        if args.tree:
+            from ..depend.report import render_tree
+
+            print(render_tree(store, result))
+        else:
+            for line in render_all(store, result, limit=args.limit):
+                print(" ", line)
+        if args.json_out:
+            from ..depend.report import to_json
+
+            payload = to_json(store, result)
+            if args.json_out == "-":
+                print(payload)
+            else:
+                with open(args.json_out, "w") as f:
+                    f.write(payload)
+        if args.csv_out:
+            from ..depend.report import to_csv
+
+            payload = to_csv(store, result)
+            if args.csv_out == "-":
+                print(payload, end="")
+            else:
+                with open(args.csv_out, "w") as f:
+                    f.write(payload)
+        if args.dot_out:
+            from .export import dependence_dot
+
+            payload = dependence_dot(store, result)
+            if args.dot_out == "-":
+                print(payload, end="")
+            else:
+                with open(args.dot_out, "w") as f:
+                    f.write(payload)
+    finally:
+        store.close()
+    return 0
+
+
+def _cmd_callgraph(args: argparse.Namespace) -> int:
+    from ..depend.callgraph import build_call_graph
+
+    store = DatabaseStore.open(args.database)
+    try:
+        points_to = analyze_store(store, args.solver)
+        graph = build_call_graph(store, points_to)
+        n_edges = sum(len(c) for c in graph.edges.values())
+        print(
+            f"{len(graph.functions())} functions, {n_edges} call edges "
+            f"({len(graph.indirect)} via function pointers)"
+        )
+        if graph.unresolved_pointers:
+            print(f"unresolved pointers: "
+                  f"{', '.join(sorted(graph.unresolved_pointers))}")
+        for caller in sorted(graph.edges):
+            callees = ", ".join(
+                c + ("*" if (caller, c) in graph.indirect else "")
+                for c in sorted(graph.edges[caller])
+            )
+            print(f"  {caller} -> {callees}")
+        if args.roots:
+            live = graph.reachable_from(args.roots)
+            dead = sorted(graph.functions() - live)
+            print(f"reachable from {', '.join(args.roots)}: "
+                  f"{len(live)} functions; unreachable: {len(dead)}")
+            for fn in dead:
+                print(f"  dead: {fn}")
+        if args.dot_out:
+            dot = graph.to_dot()
+            if args.dot_out == "-":
+                print(dot, end="")
+            else:
+                with open(args.dot_out, "w") as f:
+                    f.write(dot)
+    finally:
+        store.close()
+    return 0
+
+
+def _cmd_dump(args: argparse.Namespace) -> int:
+    with ObjectFileReader(args.objectfile) as reader:
+        kind = "executable" if reader.linked else "object file"
+        model = "field-based" if reader.field_based else "field-independent"
+        print(f"{args.objectfile}: CLA {kind}, {model}, "
+              f"{reader.source_lines} source lines")
+        b_nul = b"\x00"
+        for tag, (offset, size) in reader.sections.items():
+            print(f"  section {tag.rstrip(b_nul).decode():8s} "
+                  f"offset={offset:<10d} size={size}")
+        print(f"  objects: {reader.object_count()}, "
+              f"assignments: {reader.assignment_count()}")
+        if args.statics:
+            print("static section:")
+            for a in reader.static_assignments():
+                print(f"  {a.render()}  @ {a.location}")
+        if args.block:
+            block = reader.load_block(args.block)
+            if block is None:
+                print(f"no block for {args.block!r}")
+                return 1
+            print(f"block {args.block} ({block.obj.kind.name}):")
+            for a in block.assignments:
+                print(f"  {a.render()}  @ {a.location}")
+            if block.function_record:
+                r = block.function_record
+                print(f"  function record: args={r.args} ret={r.ret}")
+            if block.indirect_record:
+                r = block.indirect_record
+                print(f"  indirect-call record: args={r.args} ret={r.ret}")
+    return 0
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    from ..synth import generate
+
+    program = generate(args.profile, scale=args.scale, seed=args.seed)
+    paths = program.write_to(args.output)
+    print(
+        f"{args.output}: {len(paths)} files, "
+        f"{program.source_lines()} source lines, "
+        f"{program.profile.total_assignments} planned assignments"
+    )
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    kwargs = {"scale": args.scale, "seed": args.seed}
+    if args.profile:
+        kwargs["profiles"] = args.profile
+    if args.table == "table1":
+        headers, rows = tables.table1_rows()
+        title = "Table 1: Classification of operations"
+    elif args.table == "table2":
+        headers, rows = tables.table2_rows(**kwargs)
+        title = "Table 2: Benchmarks (synthetic, per-profile scale)"
+    elif args.table == "table3":
+        headers, rows = tables.table3_rows(**kwargs)
+        title = "Table 3: Results (field-based pre-transitive solver)"
+    elif args.table == "table4":
+        headers, rows = tables.table4_rows(**kwargs)
+        title = "Table 4: Field-based vs field-independent"
+    elif args.table == "ablation":
+        size = int(args.scale) if args.scale and args.scale > 1 else 500
+        headers, rows = tables.ablation_rows(size=size)
+        title = (f"Ablation: caching & cycle elimination (§5), "
+                 f"kernel n={size}")
+    elif args.table == "solvers":
+        headers, rows = tables.solver_rows(**kwargs)
+        title = "Solver comparison"
+    else:
+        headers, rows = tables.demand_rows(**kwargs)
+        title = "Demand loading vs full loading (§4)"
+    print(tables.render(title, headers, rows))
+    return 0
+
+
+def _cmd_transform(args: argparse.Namespace) -> int:
+    from ..cla.transform import (
+        ContextSensitivity,
+        OfflineVariableSubstitution,
+        transform_file,
+    )
+
+    transforms = []
+    ovs = None
+    if args.ovs:
+        ovs = OfflineVariableSubstitution()
+        transforms.append(ovs)
+    cs = None
+    if args.context_sensitivity:
+        cs = ContextSensitivity(max_sites=args.context_sensitivity)
+        transforms.append(cs)
+    if not transforms:
+        print("error: pick at least one of --ovs / --context-sensitivity",
+              file=sys.stderr)
+        return 1
+    image = transform_file(args.input, args.output, transforms)
+    parts = [f"{args.output}: {len(image.assignments)} assignments"]
+    if ovs is not None:
+        parts.append(f"OVS removed {ovs.removed_assignments} "
+                     f"(substituted {len(ovs.substituted)} variables)")
+    if cs is not None:
+        parts.append(f"cloned {cs.cloned_functions} functions "
+                     f"(+{cs.added_assignments} body copies)")
+    print("; ".join(parts))
+    return 0
+
+
+_COMMANDS = {
+    "compile": _cmd_compile,
+    "link": _cmd_link,
+    "analyze": _cmd_analyze,
+    "depend": _cmd_depend,
+    "callgraph": _cmd_callgraph,
+    "dump": _cmd_dump,
+    "synth": _cmd_synth,
+    "transform": _cmd_transform,
+    "bench": _cmd_bench,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,371 @@
+"""Regeneration of every table and figure in the paper (§6).
+
+Each ``tableN_rows`` function returns ``(headers, rows)`` for one paper
+table, computed over the synthetic benchmark suite (see
+:mod:`repro.synth.profiles` for the substitution argument); ``render``
+formats them like the paper.  The pytest-benchmark files under
+``benchmarks/`` and the ``repro-cla bench`` CLI subcommand are thin
+wrappers over this module.
+
+Scale note: the paper's benchmarks run to 300K+ primitive assignments; the
+default ``scale`` here shrinks each profile so a full table regenerates in
+seconds.  Pass ``scale=1.0`` for paper-sized runs.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+from ..cfront.preprocessor import Preprocessor
+from ..cfront.source import SourceFile
+from ..cla.linker import link_object_files
+from ..cla.reader import DatabaseStore
+from ..cla.writer import ObjectFileWriter
+from ..ir import assignment_mix
+from ..metrics import format_table, human_count, measure
+from ..solvers import SOLVERS, PreTransitiveSolver
+from ..synth import BENCHMARK_ORDER, generate
+from ..synth.generator import HEADER_NAME, SynthProgram
+from .api import analyze_store, compile_source
+
+#: Paper Table 3 reference values: (pointer vars, relations, user time s,
+#: size MB, in core, loaded, in file) — used by the benches to print
+#: paper-vs-measured side by side.
+PAPER_TABLE3 = {
+    "nethack": (1018, 7_000, 0.01, 5.2, 114, 5933, 10402),
+    "burlap": (3332, 201_000, 0.03, 5.4, 3201, 12907, 19022),
+    "vortex": (4359, 392_000, 0.11, 5.7, 1792, 15411, 34126),
+    "emacs": (8246, 11_232_000, 0.51, 6.0, 1560, 28445, 36603),
+    "povray": (6126, 141_000, 0.09, 5.7, 5886, 27566, 40280),
+    "gcc": (11289, 123_000, 0.17, 6.0, 2732, 53805, 69715),
+    "gimp": (45091, 15_298_000, 1.00, 12.1, 8377, 144534, 344156),
+    "lucent": (22360, 3_865_000, 0.38, 8.8, 4281, 101856, 349045),
+}
+
+#: Paper Table 4: field-based (pointers, relations, utime) vs
+#: field-independent (pointers, relations, utime).
+PAPER_TABLE4 = {
+    "nethack": ((1018, 7_000, 0.01), (1714, 97_000, 0.03)),
+    "burlap": ((3332, 201_000, 0.03), (2903, 323_000, 0.21)),
+    "vortex": ((4359, 392_000, 0.11), (4655, 164_000, 0.09)),
+    "emacs": ((8246, 11_232_000, 0.51), (8314, 14_643_000, 1.05)),
+    "povray": ((6126, 141_000, 0.09), (5759, 1_375_000, 0.39)),
+    "gcc": ((11289, 123_000, 0.17), (10984, 408_000, 0.65)),
+    "gimp": ((45091, 15_298_000, 1.00), (39888, 79_603_000, 30.12)),
+    "lucent": ((22360, 3_865_000, 0.46), (26085, 19_665_000, 137.20)),
+}
+
+#: Default benchmark scale per profile: big enough to show the shapes,
+#: small enough that the whole suite runs in about a minute.
+DEFAULT_SCALES = {
+    "nethack": 0.5, "burlap": 0.3, "vortex": 0.2, "emacs": 0.15,
+    "povray": 0.15, "gcc": 0.1, "gimp": 0.03, "lucent": 0.03,
+}
+
+
+def _profile_scale(name: str, scale: float | None) -> float:
+    if scale is not None:
+        return scale
+    return DEFAULT_SCALES.get(name, 0.1)
+
+
+def render(title: str, headers: list[str], rows: list[list[str]]) -> str:
+    return format_table(headers, rows, title=title)
+
+
+# ---------------------------------------------------------------------------
+# Table 1: operation strength classification
+# ---------------------------------------------------------------------------
+
+
+def table1_rows() -> tuple[list[str], list[list[str]]]:
+    from ..ir.strength import table1_rows as rows
+
+    headers = ["Operations", "Argument 1", "Argument 2"]
+    return headers, [list(r) for r in rows()]
+
+
+# ---------------------------------------------------------------------------
+# Table 2: benchmark characteristics
+# ---------------------------------------------------------------------------
+
+
+def preprocessed_size(program: SynthProgram) -> int:
+    """Size in bytes of the preprocessed token stream (Table 2 col 3)."""
+    total = 0
+    for name, text in program.files.items():
+        pp = Preprocessor()
+        pp.resolver.virtual_files[HEADER_NAME] = program.header
+        tokens = pp.preprocess(SourceFile(name, text))
+        total += sum(len(t.value) + 1 for t in tokens)
+    return total
+
+
+def build_database(
+    program: SynthProgram, directory: str, field_based: bool = True
+) -> str:
+    """Compile each file to an object file, link, return the database path.
+
+    This is the real pipeline — object files on disk, mmap reads — not the
+    in-memory shortcut, so Table 2/3 measurements include the CLA layer.
+    """
+    object_paths = []
+    for name, text in sorted(program.files.items()):
+        unit = compile_source(
+            text,
+            filename=name,
+            options=_options(program, field_based),
+        )
+        writer = ObjectFileWriter(field_based=field_based)
+        writer.add_unit(unit)
+        path = os.path.join(directory, name + ".o")
+        writer.write(path)
+        object_paths.append(path)
+    out = os.path.join(directory, "program.cla")
+    link_object_files(object_paths, out)
+    return out
+
+
+def _options(program: SynthProgram, field_based: bool):
+    from .api import CompileOptions
+
+    options = CompileOptions(field_based=field_based)
+    options.virtual_files[HEADER_NAME] = program.header
+    return options
+
+
+def table2_rows(
+    scale: float | None = None,
+    seed: int = 42,
+    profiles: list[str] | None = None,
+) -> tuple[list[str], list[list[str]]]:
+    headers = [
+        "", "LOC(source)", "LOC(paper)", "preproc", "object",
+        "variables", "x=y", "x=&y", "*x=y", "*x=*y", "x=*y",
+    ]
+    rows = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for name in profiles or BENCHMARK_ORDER:
+            s = _profile_scale(name, scale)
+            program = generate(name, scale=s, seed=seed)
+            db_path = build_database(program, tmp)
+            store = DatabaseStore.open(db_path)
+            mix = {"x = y": 0, "x = &y": 0, "*x = y": 0, "*x = *y": 0,
+                   "x = *y": 0}
+            assignments = list(store.static_assignments())
+            for block_name in store.reader.block_names():
+                block = store.reader.load_block(block_name)
+                if block:
+                    assignments.extend(block.assignments)
+            mix.update(assignment_mix(assignments))
+            n_vars = sum(
+                1 for o in store.reader.objects()
+                if not o.name.split("::")[-1].startswith("$")
+            )
+            rows.append([
+                f"{name}@{s:g}",
+                str(program.source_lines()),
+                program.profile.paper_loc,
+                f"{preprocessed_size(program) / 1e6:.1f}MB",
+                f"{os.path.getsize(db_path) / 1e6:.1f}MB",
+                str(n_vars),
+                str(mix["x = y"]), str(mix["x = &y"]), str(mix["*x = y"]),
+                str(mix["*x = *y"]), str(mix["x = *y"]),
+            ])
+            store.close()
+    return headers, rows
+
+
+# ---------------------------------------------------------------------------
+# Table 3: analysis results
+# ---------------------------------------------------------------------------
+
+
+def table3_rows(
+    scale: float | None = None,
+    seed: int = 42,
+    solver: str = "pretransitive",
+    profiles: list[str] | None = None,
+) -> tuple[list[str], list[list[str]]]:
+    headers = [
+        "", "pointer", "points-to", "real", "user", "space",
+        "in core", "loaded", "in file",
+        "paper:ptr", "paper:rel", "paper:utime",
+    ]
+    rows = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for name in profiles or BENCHMARK_ORDER:
+            s = _profile_scale(name, scale)
+            program = generate(name, scale=s, seed=seed)
+            db_path = build_database(program, tmp)
+            store = DatabaseStore.open(db_path)
+            m = measure(lambda: analyze_store(store, solver))
+            result = m.result
+            paper = PAPER_TABLE3[name]
+            rows.append([
+                f"{name}@{s:g}",
+                str(result.pointer_variables()),
+                human_count(result.points_to_relations()),
+                f"{m.real_seconds:.2f}s",
+                f"{m.user_seconds:.2f}s",
+                f"{m.peak_rss_mb:.0f}MB",
+                str(store.stats.in_core),
+                str(store.stats.loaded),
+                str(store.stats.in_file),
+                str(paper[0]), human_count(paper[1]), f"{paper[2]:.2f}s",
+            ])
+            store.close()
+    return headers, rows
+
+
+# ---------------------------------------------------------------------------
+# Table 4: field-based vs field-independent
+# ---------------------------------------------------------------------------
+
+
+def table4_rows(
+    scale: float | None = None,
+    seed: int = 42,
+    profiles: list[str] | None = None,
+) -> tuple[list[str], list[list[str]]]:
+    headers = [
+        "", "FB:ptr", "FB:rel", "FB:utime", "FI:ptr", "FI:rel", "FI:utime",
+        "rel ratio", "paper ratio",
+    ]
+    rows = []
+    for name in profiles or BENCHMARK_ORDER:
+        s = _profile_scale(name, scale)
+        program = generate(name, scale=s, seed=seed)
+        cells = [f"{name}@{s:g}"]
+        relations = {}
+        for field_based in (True, False):
+            project = program.project(field_based=field_based)
+            project.units()  # compile outside the timed region
+            m = measure(lambda: project.points_to())
+            result = m.result
+            relations[field_based] = result.points_to_relations()
+            cells.extend([
+                str(result.pointer_variables()),
+                human_count(result.points_to_relations()),
+                f"{m.user_seconds:.2f}s",
+            ])
+        ratio = relations[False] / max(relations[True], 1)
+        paper_fb, paper_fi = PAPER_TABLE4[name]
+        paper_ratio = paper_fi[1] / paper_fb[1]
+        cells.append(f"{ratio:.2f}")
+        cells.append(f"{paper_ratio:.2f}")
+        rows.append(cells)
+    return headers, rows
+
+
+# ---------------------------------------------------------------------------
+# §5 ablation: caching and cycle elimination
+# ---------------------------------------------------------------------------
+
+
+def ablation_rows(
+    size: int = 500,
+    **_ignored,
+) -> tuple[list[str], list[list[str]]]:
+    """The ">50,000x" experiment (§5) on the getLvals blowup kernel.
+
+    Runs the pre-transitive solver with each combination of the two
+    optimizations over :func:`repro.synth.kernels.ablation_kernel` and
+    reports wall time plus the deterministic traversal-work counter (node
+    expansions), whose growth is what extrapolates to the paper's figure.
+    """
+    from ..synth.kernels import ablation_kernel
+
+    headers = ["cache", "cycle elim", "user time", "slowdown",
+               "traversal work", "work factor"]
+    configs = [
+        (True, True), (True, False), (False, True), (False, False),
+    ]
+    rows = []
+    baseline_time = None
+    baseline_work = None
+    for cache, cycles in configs:
+        store = ablation_kernel(size)
+        solver = PreTransitiveSolver(
+            store, enable_cache=cache, enable_cycle_elimination=cycles,
+        )
+        m = measure(solver.solve)
+        work = solver.metrics.nodes_visited
+        if baseline_time is None:
+            baseline_time = max(m.user_seconds, 1e-6)
+            baseline_work = max(work, 1)
+        rows.append([
+            "on" if cache else "off",
+            "on" if cycles else "off",
+            f"{m.user_seconds:.3f}s",
+            f"{m.user_seconds / baseline_time:.0f}x",
+            str(work),
+            f"{work / baseline_work:.0f}x",
+        ])
+    return headers, rows
+
+
+# ---------------------------------------------------------------------------
+# Solver comparison (the §6 related-systems discussion)
+# ---------------------------------------------------------------------------
+
+
+def solver_rows(
+    scale: float | None = None,
+    seed: int = 42,
+    profiles: list[str] | None = None,
+    solvers: list[str] | None = None,
+) -> tuple[list[str], list[list[str]]]:
+    solver_names = solvers or list(SOLVERS)
+    headers = ["", *[f"{s}:utime" for s in solver_names],
+               *[f"{s}:rel" for s in solver_names]]
+    rows = []
+    for name in profiles or ["nethack", "vortex", "gcc", "emacs"]:
+        s = _profile_scale(name, scale)
+        program = generate(name, scale=s, seed=seed)
+        times, rels = [], []
+        for solver in solver_names:
+            project = program.project()
+            project.units()
+            m = measure(lambda: project.points_to(solver))
+            times.append(f"{m.user_seconds:.2f}s")
+            rels.append(human_count(m.result.points_to_relations()))
+        rows.append([f"{name}@{s:g}", *times, *rels])
+    return headers, rows
+
+
+# ---------------------------------------------------------------------------
+# Demand loading (§4 / Table 3 last columns)
+# ---------------------------------------------------------------------------
+
+
+def demand_rows(
+    scale: float | None = None,
+    seed: int = 42,
+    profiles: list[str] | None = None,
+) -> tuple[list[str], list[list[str]]]:
+    headers = ["", "mode", "in core", "loaded", "in file", "user time"]
+    rows = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for name in profiles or ["nethack", "gcc", "gimp"]:
+            s = _profile_scale(name, scale)
+            program = generate(name, scale=s, seed=seed)
+            db_path = build_database(program, tmp)
+            for demand in (True, False):
+                store = DatabaseStore.open(db_path)
+                m = measure(
+                    lambda: PreTransitiveSolver(
+                        store, demand_load=demand
+                    ).solve()
+                )
+                rows.append([
+                    f"{name}@{s:g}",
+                    "demand" if demand else "full",
+                    str(store.stats.in_core),
+                    str(store.stats.loaded),
+                    str(store.stats.in_file),
+                    f"{m.user_seconds:.2f}s",
+                ])
+                store.close()
+    return headers, rows

@@ -1,0 +1,28 @@
+"""Intermediate representation: program objects and primitive assignments.
+
+The lowering in :mod:`repro.ir.lower` implements the paper's *compile* phase
+semantics: C ASTs become primitive assignments over program objects, with
+field-based (default) or field-independent struct treatment, standardized
+function argument/return variables, fresh heap locations per allocation
+site, and Table 1 strength classification on every assignment.
+"""
+
+from .lower import ALLOCATORS, Lowerer, UnitIR, lower_translation_unit
+from .objects import ObjectKind, ProgramObject
+from .primitives import (
+    FunctionRecord,
+    IndirectCallRecord,
+    PrimitiveAssignment,
+    PrimitiveKind,
+    assignment_mix,
+)
+from .strength import Strength, binary_strengths, combine, table1_rows, unary_strength
+
+__all__ = [
+    "ALLOCATORS", "Lowerer", "UnitIR", "lower_translation_unit",
+    "ObjectKind", "ProgramObject",
+    "FunctionRecord", "IndirectCallRecord", "PrimitiveAssignment",
+    "PrimitiveKind", "assignment_mix",
+    "Strength", "binary_strengths", "combine", "table1_rows",
+    "unary_strength",
+]

@@ -1,0 +1,152 @@
+"""Program objects — the nodes of the analyses.
+
+A *program object* is anything whose set of values the analyses track: a
+variable, a struct field (in the field-based model the field of a struct
+type is one object shared by all instances, §3), a function, a standardized
+function argument/return variable (§4), a heap allocation site (§6: "each
+static occurrence of a memory allocation primitive is treated as a fresh
+location"), a compiler temporary, or a constant string.
+
+Canonical names double as link-time symbols:
+
+==============  =============================  =========================
+kind            example C                      canonical name
+==============  =============================  =========================
+global var      ``int x;``                     ``x``
+static var      ``static int x;`` in a.c       ``a.c::x``
+local var       ``int x;`` in f() of a.c       ``a.c::f::x``
+field           ``struct S { short x; };``     ``S.x``
+function        ``int f() {...}``              ``f``
+argument        1st arg of ``f``               ``f$arg1``
+return          return value of ``f``          ``f$ret``
+funcptr arg     1st arg passed via ptr ``p``   ``<p>$arg1``
+heap site       ``malloc(...)`` at a.c:12      ``malloc@a.c:12``
+temporary       introduced by lowering          ``a.c::f::$t3``
+string          ``"lit"`` at a.c:7             ``str@a.c:7``
+==============  =============================  =========================
+
+Global names (plain ``x``, ``f``, ``f$arg1``, ``S.x``) are merged across
+translation units by the linker; every other form embeds its file (and
+function) so separate compilation can never collide.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..cfront.source import Location
+
+
+class ObjectKind(enum.IntEnum):
+    """What sort of program entity an object is.
+
+    IntEnum so the CLA object-file writer can store it in one byte.
+    """
+
+    VARIABLE = 0
+    FIELD = 1
+    FUNCTION = 2
+    ARGUMENT = 3  # standardized f$argN
+    RETURN = 4  # standardized f$ret
+    HEAP = 5  # allocation site
+    TEMP = 6  # compiler temporary
+    STRING = 7  # string literal
+
+
+@dataclass(slots=True)
+class ProgramObject:
+    """One analysis object.  Identity is the canonical ``name``."""
+
+    name: str
+    kind: ObjectKind
+    type_str: str = ""  # printable C type, e.g. "short" (Figure 1 output)
+    location: Location = field(default_factory=Location.unknown)
+    #: Function whose body declares this object; "" at file scope.  Stored
+    #: in the database to support advanced searches (§4).
+    enclosing_function: str = ""
+    #: Linker-visible: merged across object files by name.
+    is_global: bool = True
+    #: Can values of this object's type carry pointers?  The analyzer skips
+    #: loading assignments whose objects cannot (§6: "non-pointer arithmetic
+    #: assignments are usually ignored").
+    may_point: bool = True
+    #: Marked when the object is used as a function pointer at some indirect
+    #: call site; the solver then links standardized argument/return
+    #: variables at analysis time (§4).
+    is_funcptr: bool = False
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ProgramObject):
+            return self.name == other.name
+        return NotImplemented
+
+    def display(self) -> str:
+        """Render like the paper's Figure 1: ``name/type <file:line>``."""
+        t = f"/{self.type_str}" if self.type_str else ""
+        return f"{self.name}{t} {self.location.brief()}"
+
+
+def variable_name(
+    name: str, filename: str, function: str | None, is_static: bool
+) -> str:
+    """Canonical name for a declared variable (see module docstring)."""
+    if function:
+        return f"{filename}::{function}::{name}"
+    if is_static:
+        return f"{filename}::{name}"
+    return name
+
+
+def field_name(struct_tag: str, fname: str) -> str:
+    """Canonical name for a struct/union field in the field-based model."""
+    return f"{struct_tag}.{fname}"
+
+
+def argument_name(func: str, index: int) -> str:
+    """Standardized name for the index-th (1-based) argument of ``func``."""
+    return f"{func}$arg{index}"
+
+
+def return_name(func: str) -> str:
+    """Standardized name for the return value of ``func``."""
+    return f"{func}$ret"
+
+
+def funcptr_argument_name(pointer: str, index: int) -> str:
+    """Standardized argument name for calls through pointer ``pointer``."""
+    return f"<{pointer}>$arg{index}"
+
+
+def funcptr_return_name(pointer: str) -> str:
+    return f"<{pointer}>$ret"
+
+
+def heap_name(primitive: str, location: Location) -> str:
+    """Name of the fresh location for one allocation site.
+
+    "Each static occurrence of a memory allocation primitive ... is
+    treated as a fresh location" (§6): the column disambiguates two calls
+    on one source line.
+    """
+    if location.column:
+        return (f"{primitive}@{location.filename}:"
+                f"{location.line}:{location.column}")
+    return f"{primitive}@{location.filename}:{location.line}"
+
+
+def string_name(location: Location) -> str:
+    return f"str@{location.filename}:{location.line}"
+
+
+def temp_name(filename: str, function: str | None, index: int) -> str:
+    scope = f"{filename}::{function}" if function else filename
+    return f"{scope}::$t{index}"
+
+
+def is_funcptr_synthetic(name: str) -> bool:
+    """Does this name belong to a funcptr standardized variable?"""
+    return name.startswith("<")

@@ -1,0 +1,38 @@
+"""Points-to solvers over the CLA database.
+
+* :class:`PreTransitiveSolver` — the paper's contribution (§5): a
+  pre-transitive constraint graph with cached, cycle-eliminating
+  reachability and demand loading.
+* :class:`TransitiveSolver` — the classic transitively-closed worklist
+  Andersen baseline the paper compares against.
+* :class:`BitVectorSolver` — the bit-vector subset-based implementation
+  mentioned in §4.
+* :class:`SteensgaardSolver` — the unification-based analysis (§3/§4).
+* :class:`OneLevelFlowSolver` — Das's hybrid "unification with directional
+  assignments" (§3/§6's strongest unification-based competitor).
+
+All consume a :class:`~repro.cla.store.ConstraintStore` and produce a
+:class:`PointsToResult`.
+"""
+
+from .base import FunPtrLinker, PointsToResult, SolverMetrics
+from .bitvector import BitVectorSolver
+from .onelevel import OneLevelFlowSolver
+from .pretransitive import PreTransitiveSolver
+from .steensgaard import SteensgaardSolver
+from .transitive import TransitiveSolver
+
+SOLVERS = {
+    "pretransitive": PreTransitiveSolver,
+    "transitive": TransitiveSolver,
+    "bitvector": BitVectorSolver,
+    "steensgaard": SteensgaardSolver,
+    "onelevel": OneLevelFlowSolver,
+}
+
+__all__ = [
+    "FunPtrLinker", "PointsToResult", "SolverMetrics",
+    "BitVectorSolver", "OneLevelFlowSolver", "PreTransitiveSolver",
+    "SteensgaardSolver",
+    "TransitiveSolver", "SOLVERS",
+]

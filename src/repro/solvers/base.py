@@ -1,0 +1,136 @@
+"""Common solver infrastructure.
+
+Every points-to solver consumes a :class:`~repro.cla.store.ConstraintStore`
+and produces a :class:`PointsToResult`.  Analysis-time function-pointer
+linking (§4: when ``g`` lands in the points-to set of a pointer ``f`` used
+at an indirect call site, link ``g$argN = <f>$argN`` and
+``<f>$ret = g$ret``) is shared here because all four solvers need it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cla.store import ConstraintStore, LoadStats
+from ..ir.objects import ObjectKind, ProgramObject
+
+
+@dataclass
+class SolverMetrics:
+    """Instrumentation every solver fills in."""
+
+    rounds: int = 0
+    edges_added: int = 0
+    constraints: int = 0  # complex assignments processed (kept in core)
+    cycles_collapsed: int = 0  # nodes removed by unification
+    lval_queries: int = 0
+    nodes_visited: int = 0  # node expansions during reachability traversals
+    funcptr_links: int = 0
+
+
+@dataclass
+class PointsToResult:
+    """The output of a points-to analysis."""
+
+    solver: str
+    pts: dict[str, frozenset[str]]
+    metrics: SolverMetrics = field(default_factory=SolverMetrics)
+    load_stats: LoadStats = field(default_factory=LoadStats)
+    #: Object metadata snapshot for reporting (name -> ProgramObject).
+    objects: dict[str, ProgramObject] = field(default_factory=dict)
+
+    def points_to(self, name: str) -> frozenset[str]:
+        return self.pts.get(name, frozenset())
+
+    def may_alias(self, a: str, b: str) -> bool:
+        """Two pointers may alias iff their points-to sets intersect."""
+        return bool(self.points_to(a) & self.points_to(b))
+
+    def pointer_variables(self) -> int:
+        """Table 3 column 1: program objects (variables and fields, no
+        temporaries) with non-empty points-to sets."""
+        count = 0
+        for name, targets in self.pts.items():
+            if not targets:
+                continue
+            obj = self.objects.get(name)
+            if obj is not None and obj.kind == ObjectKind.TEMP:
+                continue
+            count += 1
+        return count
+
+    def points_to_relations(self) -> int:
+        """Table 3 column 2: total points-to set sizes over those objects."""
+        total = 0
+        for name, targets in self.pts.items():
+            obj = self.objects.get(name)
+            if obj is not None and obj.kind == ObjectKind.TEMP:
+                continue
+            total += len(targets)
+        return total
+
+    def pointed_by(self) -> dict[str, set[str]]:
+        """Reverse index: target object -> pointers that may point to it.
+
+        The dependence analysis uses this to find the loads ``x = *p``
+        relevant to a newly dependent object (§4's sketch).
+        """
+        reverse: dict[str, set[str]] = {}
+        for pointer, targets in self.pts.items():
+            for target in targets:
+                reverse.setdefault(target, set()).add(pointer)
+        return reverse
+
+
+class FunPtrLinker:
+    """Analysis-time linking of indirect calls, shared across solvers.
+
+    ``link(pointer, callees)`` returns copy constraints ``(dst, src)`` that
+    were not produced before: for each newly seen callee ``g`` of funcptr
+    ``f``, ``g$argN ⊇ <f>$argN`` and ``<f>$ret ⊇ g$ret``.
+    """
+
+    def __init__(self, store: ConstraintStore):
+        self.store = store
+        self._linked: set[tuple[str, str]] = set()
+        self._indirect_cache: dict[str, object] = {}
+        self._function_cache: dict[str, object] = {}
+
+    def _indirect_record(self, pointer: str):
+        if pointer not in self._indirect_cache:
+            block = self.store.load_block(pointer)
+            self._indirect_cache[pointer] = (
+                block.indirect_record if block is not None else None
+            )
+        return self._indirect_cache[pointer]
+
+    def _function_record(self, function: str):
+        if function not in self._function_cache:
+            block = self.store.load_block(function)
+            self._function_cache[function] = (
+                block.function_record if block is not None else None
+            )
+        return self._function_cache[function]
+
+    def is_linkable(self, pointer: str) -> bool:
+        obj = self.store.get_object(pointer)
+        return obj is not None and obj.is_funcptr
+
+    def link(self, pointer: str, callees) -> list[tuple[str, str]]:
+        """New copy constraints from linking ``pointer``'s callees."""
+        record = self._indirect_record(pointer)
+        if record is None:
+            return []
+        out: list[tuple[str, str]] = []
+        for callee in callees:
+            key = (pointer, callee)
+            if key in self._linked:
+                continue
+            self._linked.add(key)
+            frecord = self._function_record(callee)
+            if frecord is None:
+                continue  # not a function after all (imprecision artifact)
+            for formal, actual in zip(frecord.args, record.args):
+                out.append((formal, actual))  # g$argN ⊇ <f>$argN
+            out.append((record.ret, frecord.ret))  # <f>$ret ⊇ g$ret
+        return out

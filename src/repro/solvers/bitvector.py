@@ -1,0 +1,188 @@
+"""Baseline: subset-based solver with bit-vector points-to sets.
+
+§4 mentions that the CLA infrastructure hosted "an implementation based on
+bit-vectors" among several subset-based points-to implementations.  This
+solver runs the same worklist algorithm as
+:class:`~repro.solvers.transitive.TransitiveSolver` but represents every
+points-to set as an arbitrary-precision integer bitmask, so set union is a
+single ``|`` — fast on dense sets, wasteful on sparse wide ones, which is
+exactly the trade-off the solver-comparison bench shows.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..cla.store import ConstraintStore
+from ..ir.objects import ObjectKind
+from ..ir.primitives import PrimitiveKind
+from .base import FunPtrLinker, PointsToResult, SolverMetrics
+
+
+def bits(mask: int):
+    """Yield the set bit positions of ``mask``."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+class BitVectorSolver:
+    """Worklist Andersen with integer-bitmask points-to sets."""
+
+    name = "bitvector"
+
+    def __init__(self, store: ConstraintStore):
+        self.store = store
+        self.metrics = SolverMetrics()
+        self._ids: dict[str, int] = {}
+        self._names: list[str] = []
+        self._pts: dict[int, int] = {}
+        self._delta: dict[int, int] = {}
+        self._succ: dict[int, set[int]] = {}
+        self._loads_on: dict[int, list[int]] = {}
+        self._stores_on: dict[int, list[int]] = {}
+        self._worklist: deque[int] = deque()
+        self._queued: set[int] = set()
+        self._linker = FunPtrLinker(store)
+        self._funcptrs: set[int] = set()
+        self._function_mask = 0
+        self._split_counter = 0
+
+    def _id(self, name: str) -> int:
+        i = self._ids.get(name)
+        if i is None:
+            i = len(self._names)
+            self._ids[name] = i
+            self._names.append(name)
+        return i
+
+    def _ingest(self, kind: PrimitiveKind, dst: str, src: str) -> None:
+        obj = self.store.get_object(dst)
+        if obj is not None and not obj.may_point:
+            return
+        if kind is not PrimitiveKind.ADDR:
+            sobj = self.store.get_object(src)
+            if sobj is not None and not sobj.may_point:
+                return
+        if kind is PrimitiveKind.COPY:
+            self._add_edge(self._id(src), self._id(dst))
+        elif kind is PrimitiveKind.ADDR:
+            self._add_pts(self._id(dst), 1 << self._id(src))
+        elif kind is PrimitiveKind.LOAD:
+            p = self._id(src)
+            self._loads_on.setdefault(p, []).append(self._id(dst))
+            self.metrics.constraints += 1
+            self._replay(p)
+        elif kind is PrimitiveKind.STORE:
+            p = self._id(dst)
+            self._stores_on.setdefault(p, []).append(self._id(src))
+            self.metrics.constraints += 1
+            self._replay(p)
+        else:  # STORE_LOAD
+            self._split_counter += 1
+            t = f"$sl{self._split_counter}"
+            self._ingest(PrimitiveKind.LOAD, t, src)
+            self._ingest(PrimitiveKind.STORE, dst, t)
+
+    def _replay(self, p: int) -> None:
+        mask = self._pts.get(p, 0)
+        if mask:
+            self._delta[p] = self._delta.get(p, 0) | mask
+            self._enqueue(p)
+
+    def _add_edge(self, src: int, dst: int) -> bool:
+        dsts = self._succ.setdefault(src, set())
+        if dst in dsts:
+            return False
+        dsts.add(dst)
+        self.metrics.edges_added += 1
+        mask = self._pts.get(src, 0)
+        if mask:
+            self._add_pts(dst, mask)
+        return True
+
+    def _add_pts(self, node: int, mask: int) -> None:
+        mine = self._pts.get(node, 0)
+        new = mask & ~mine
+        if not new:
+            return
+        self._pts[node] = mine | new
+        self._delta[node] = self._delta.get(node, 0) | new
+        self._enqueue(node)
+
+    def _enqueue(self, node: int) -> None:
+        if node not in self._queued:
+            self._queued.add(node)
+            self._worklist.append(node)
+
+    def solve(self) -> PointsToResult:
+        for a in self.store.static_assignments():
+            self._ingest(a.kind, a.dst, a.src)
+        for name in list(self.store.block_names()):
+            block = self.store.load_block(name)
+            if block is None:
+                continue
+            for a in block.assignments:
+                self._ingest(a.kind, a.dst, a.src)
+        self._collect_funcptrs()
+
+        while self._worklist:
+            self.metrics.rounds += 1
+            node = self._worklist.popleft()
+            self._queued.discard(node)
+            delta = self._delta.pop(node, 0)
+            if not delta:
+                continue
+            for dst in self._succ.get(node, ()):
+                self._add_pts(dst, delta)
+            for x in self._loads_on.get(node, ()):
+                for z in bits(delta):
+                    self._add_edge(z, x)
+            for y in self._stores_on.get(node, ()):
+                for z in bits(delta):
+                    self._add_edge(y, z)
+            if node in self._funcptrs and (delta & self._function_mask):
+                callees = [self._names[b] for b in bits(delta & self._function_mask)]
+                for dst, src in self._linker.link(self._names[node], callees):
+                    self.metrics.funcptr_links += 1
+                    self._ingest(PrimitiveKind.COPY, dst, src)
+
+        self.store.discard(self.metrics.constraints)
+        return self._result()
+
+    def _collect_funcptrs(self) -> None:
+        for name in self.store.object_names():
+            obj = self.store.get_object(name)
+            if obj is None:
+                continue
+            if obj.is_funcptr:
+                self._funcptrs.add(self._id(name))
+            if obj.kind == ObjectKind.FUNCTION:
+                self._function_mask |= 1 << self._id(name)
+        for fp in self._funcptrs:
+            self._replay(fp)
+
+    def _result(self) -> PointsToResult:
+        pts: dict[str, frozenset[str]] = {}
+        for node, mask in self._pts.items():
+            name = self._names[node]
+            if name.startswith("$sl"):
+                continue
+            pts[name] = frozenset(self._names[b] for b in bits(mask))
+        objects = {}
+        for name in pts:
+            obj = self.store.get_object(name)
+            if obj is not None:
+                objects[name] = obj
+        return PointsToResult(
+            solver=self.name,
+            pts=pts,
+            metrics=self.metrics,
+            load_stats=self.store.stats,
+            objects=objects,
+        )
+
+
+def solve(store: ConstraintStore) -> PointsToResult:
+    return BitVectorSolver(store).solve()

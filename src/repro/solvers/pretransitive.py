@@ -1,0 +1,554 @@
+"""The pre-transitive graph algorithm for Andersen's analysis (paper §5).
+
+The constraint graph ``G`` is **never transitively closed**.  Simple
+assignments ``x = y`` become edges ``nx -> ny``; base assignments
+``x = &y`` populate ``baseElements(nx)``; complex assignments are kept in a
+set ``C`` and processed by the iteration algorithm of Figure 5:
+
+    do {
+        for *x = y in C: for &z in getLvals(nx): add edge nz -> ny
+        for x = *y in C: add edge nx -> n?y (once);
+                         for &z in getLvals(ny): add edge n?y -> nz
+    } until no change
+
+``getLvals(n)`` is graph reachability: the union of ``baseElements`` over
+every node reachable from ``n``.  The two optimizations that make this
+practical (§5: turning both off slows gimp down by a factor "in excess of
+50K"):
+
+* **caching** — lvals computed for a node during the current iteration are
+  reused, even if stale; the outer loop's change flag repairs staleness;
+* **complete cycle elimination** — every cycle in the traversed region is
+  collapsed by node unification (skip pointers with path compression),
+  "essentially free" because the traversal is happening anyway.  The
+  traversal here is an iterative Tarjan SCC pass: it finds exactly the
+  cycles of the visited region and never recurses (the paper's C
+  implementation recursed; Python cannot afford to on million-assignment
+  graphs).
+
+Both optimizations are independently toggleable for the ablation bench.
+
+Demand loading (§4): a dynamic block is loaded the first time its object
+participates in pointer flow — it gains base elements, gains an edge, or
+appears in a complex assignment.  Objects whose type cannot carry pointers
+never trigger loads, which is how "non-pointer arithmetic assignments are
+usually ignored".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..cla.store import ConstraintStore
+from ..ir.objects import ObjectKind
+from ..ir.primitives import PrimitiveKind
+from .base import FunPtrLinker, PointsToResult, SolverMetrics
+
+
+class _Node:
+    """One graph node: a program object or a deref placeholder ``n?x``."""
+
+    __slots__ = (
+        "uid", "name", "base", "succ", "succ_uids", "skip",
+        "cache_token", "cache",
+        "t_stamp", "t_index", "t_low", "t_on_stack",
+    )
+
+    def __init__(self, uid: int, name: str):
+        self.uid = uid
+        self.name = name
+        self.base: set[int] = set()  # lval object uids
+        self.succ: list[_Node] = []
+        #: destination uids, for O(1) duplicate-edge checks without
+        #: allocating key tuples (the paper's global edge hash, but kept
+        #: per node so unification merges it naturally)
+        self.succ_uids: set[int] = set()
+        self.skip: "_Node | None" = None
+        self.cache_token = 0  # 0 = never cached
+        self.cache: frozenset[int] = frozenset()
+        # Tarjan bookkeeping, stamped per query (never bulk-cleared).
+        self.t_stamp = 0
+        self.t_index = 0
+        self.t_low = 0
+        self.t_on_stack = False
+
+
+class PreTransitiveSolver:
+    """Field-model-agnostic Andersen solver on a pre-transitive graph."""
+
+    name = "pretransitive"
+
+    def __init__(
+        self,
+        store: ConstraintStore,
+        enable_cache: bool = True,
+        enable_cycle_elimination: bool = True,
+        demand_load: bool = True,
+    ):
+        self.store = store
+        self.enable_cache = enable_cache
+        self.enable_cycle_elimination = enable_cycle_elimination
+        self.demand_load = demand_load
+        self.metrics = SolverMetrics()
+
+        self._nodes: dict[str, _Node] = {}
+        self._uid = 0
+        self._uid_nodes: list["_Node | None"] = [None]  # uid -> node
+        #: complex assignments: ("store", p, y) for *p = y,
+        #: ("load", x, p) for x = *p.
+        self._complex: list[tuple[str, str, str]] = []
+        self._complex_keys: set[tuple[str, str, str]] = set()
+        self._loaded: set[str] = set()
+        self._load_queue: "deque[str]" = deque()
+        self._draining = False
+        self._round = 0
+        self._cache_token = 0  # current validity token for node caches
+        self._ephemeral_token = 0  # counts down for cache-disabled queries
+        self._query_stamp = 0
+        self._changed = False
+        self._lval_interning: dict[frozenset[int], frozenset[int]] = {}
+        self._split_counter = 0
+
+        #: object-uid <-> name maps for lval sets.
+        self._obj_uids: dict[str, int] = {}
+        self._obj_names: list[str] = []
+        #: lval object uid -> its graph node (filled lazily); avoids a
+        #: name round-trip on the hot getLvalsNodes path
+        self._obj_nodes: list["_Node | None"] = []
+        self._may_point_cache: dict[str, bool] = {}
+
+        self._linker = FunPtrLinker(store)
+        self._funcptr_names: set[str] = set()
+        self._function_names: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Node / object plumbing
+    # ------------------------------------------------------------------
+
+    def _node(self, name: str) -> _Node:
+        node = self._nodes.get(name)
+        if node is None:
+            self._uid += 1
+            node = _Node(self._uid, name)
+            self._nodes[name] = node
+            self._uid_nodes.append(node)
+        return self._find(node)
+
+    def _deref_node(self, name: str) -> _Node:
+        return self._node("*" + name)
+
+    def _obj_uid(self, name: str) -> int:
+        uid = self._obj_uids.get(name)
+        if uid is None:
+            uid = len(self._obj_names)
+            self._obj_uids[name] = uid
+            self._obj_names.append(name)
+            self._obj_nodes.append(None)
+        return uid
+
+    @staticmethod
+    def _find(node: _Node) -> _Node:
+        """Follow skip pointers with path compression."""
+        if node.skip is None:
+            return node
+        root = node
+        while root.skip is not None:
+            root = root.skip
+        while node.skip is not None:
+            node.skip, node = root, node.skip
+        return root
+
+    def _add_edge(self, src: _Node, dst: _Node) -> bool:
+        if src.skip is not None:
+            src = self._find(src)
+        if dst.skip is not None:
+            dst = self._find(dst)
+        if src is dst or dst.uid in src.succ_uids:
+            return False
+        src.succ_uids.add(dst.uid)
+        src.succ.append(dst)
+        src.cache_token = 0  # reachability from src changed
+        self.metrics.edges_added += 1
+        self._changed = True
+        return True
+
+    def _unify_scc(self, rep: _Node, members: list[_Node]) -> _Node:
+        """Collapse a cycle into ``rep`` (skip-pointer unification)."""
+        for other in members:
+            if other is rep:
+                continue
+            rep.base |= other.base
+            rep.succ.extend(other.succ)
+            rep.succ_uids |= other.succ_uids
+            other.base = set()
+            other.succ = []
+            other.succ_uids = set()
+            other.skip = rep
+            other.cache_token = 0
+            self.metrics.cycles_collapsed += 1
+        return rep
+
+    # ------------------------------------------------------------------
+    # Loading (the CLA analyze-phase coupling)
+    # ------------------------------------------------------------------
+
+    def _may_point(self, name: str) -> bool:
+        hit = self._may_point_cache.get(name)
+        if hit is not None:
+            return hit
+        if name.startswith("*") or name.startswith("$sl"):
+            result = True  # synthetic nodes always participate
+        else:
+            obj = self.store.get_object(name)
+            result = obj is None or obj.may_point
+        self._may_point_cache[name] = result
+        return result
+
+    def _ensure_loaded(self, name: str) -> None:
+        """Demand-load the dynamic block of ``name`` (once).
+
+        Loading one block can make further objects relevant; the cascade is
+        drained iteratively through a queue — copy chains in real code
+        bases are deeper than any recursion limit.
+        """
+        if name in self._loaded:
+            return
+        self._loaded.add(name)
+        if not self.demand_load:
+            return  # full preload happened in solve()
+        self._load_queue.append(name)
+        if self._draining:
+            return
+        self._draining = True
+        try:
+            while self._load_queue:
+                self._ingest_block(self._load_queue.popleft())
+        finally:
+            self._draining = False
+
+    def _ingest_block(self, name: str) -> None:
+        block = self.store.load_block(name)
+        if block is None:
+            return
+        for a in block.assignments:
+            self._ingest_assignment(a.kind, a.dst, a.src)
+
+    def _ingest_assignment(self, kind: PrimitiveKind, dst: str, src: str) -> None:
+        if not self._may_point(dst):
+            return  # destination cannot carry pointers
+        if kind is not PrimitiveKind.ADDR and not self._may_point(src):
+            # Non-pointer value flow is irrelevant to aliasing (§6).  The
+            # exception is x = &y: the *address* of a non-pointer object is
+            # still a pointer value (p = &v with short v, §2).
+            return
+        if kind is PrimitiveKind.COPY:
+            if self._add_edge(self._node(dst), self._node(src)):
+                self._ensure_loaded(dst)
+        elif kind is PrimitiveKind.ADDR:
+            node = self._node(dst)
+            uid = self._obj_uid(src)
+            if uid not in node.base:
+                node.base.add(uid)
+                node.cache_token = 0
+                self._changed = True
+            self._ensure_loaded(dst)
+        elif kind is PrimitiveKind.LOAD:
+            self._add_complex("load", dst, src)
+        elif kind is PrimitiveKind.STORE:
+            self._add_complex("store", dst, src)
+        elif kind is PrimitiveKind.STORE_LOAD:
+            # *p = *q  ==>  t = *q; *p = t  (§5: "it can be split").
+            self._split_counter += 1
+            t = f"$sl{self._split_counter}"
+            self._add_complex("load", t, src)
+            self._add_complex("store", dst, t)
+
+    def _add_complex(self, kind: str, a: str, b: str) -> None:
+        key = (kind, a, b)
+        if key in self._complex_keys:
+            return
+        self._complex_keys.add(key)
+        self._complex.append(key)
+        self._changed = True
+        if kind == "load":
+            # x = *p: the edge nx -> n?p is added once, outside the loop
+            # (Figure 5, note on line 7).
+            self._add_edge(self._node(a), self._deref_node(b))
+            self._ensure_loaded(a)
+        self._ensure_loaded(b)
+
+    # ------------------------------------------------------------------
+    # getLvals: cached, cycle-eliminating graph reachability
+    # ------------------------------------------------------------------
+
+    def get_lvals(self, name: str) -> frozenset[str]:
+        """Public query: the lvals (&-targets) reachable from an object."""
+        node = self._nodes.get(name)
+        if node is None:
+            return frozenset()
+        uids = self._lvals(self._find(node))
+        return frozenset(self._obj_names[u] for u in uids)
+
+    def _query_token(self) -> int:
+        """Cache-validity token for one top-level query.
+
+        With caching on, results stay valid for the whole round; with
+        caching off, each query gets a fresh token so nothing is reused
+        across queries (but intra-query bookkeeping still works).
+        """
+        if self.enable_cache:
+            return self._cache_token
+        self._ephemeral_token -= 1
+        return self._ephemeral_token
+
+    def _lvals(self, node: _Node) -> frozenset[int]:
+        self.metrics.lval_queries += 1
+        node = self._find(node)
+        token = self._query_token()
+        if node.cache_token == token:
+            return node.cache
+        if self.enable_cycle_elimination:
+            return self._lvals_tarjan(node, token)
+        return self._lvals_plain(node, token)
+
+    def _intern(self, s: frozenset[int]) -> frozenset[int]:
+        """Share identical lval sets (§5's common-set table)."""
+        return self._lval_interning.setdefault(s, s)
+
+    def _lvals_tarjan(self, root: _Node, token: int) -> frozenset[int]:
+        """Iterative Tarjan traversal; collapses every cycle it visits.
+
+        Nodes whose cache carries the current token act as leaves.  SCCs
+        finish in reverse-topological order, so when one pops, all its
+        external successors are already final and its lvals can be sealed
+        and cached.
+        """
+        self._query_stamp += 1
+        stamp = self._query_stamp
+        index_counter = 0
+        scc_stack: list[_Node] = []
+        frames: list[list] = []  # [node, next_child_cursor]
+        pending: dict[int, set[int]] = {}  # uid -> lvals gathered so far
+
+        def push(n: _Node) -> None:
+            nonlocal index_counter
+            self.metrics.nodes_visited += 1
+            n.t_stamp = stamp
+            n.t_index = n.t_low = index_counter
+            index_counter += 1
+            n.t_on_stack = True
+            scc_stack.append(n)
+            pending[n.uid] = set(n.base)
+            frames.append([n, 0])
+
+        push(root)
+        result: frozenset[int] = frozenset()
+        while frames:
+            frame = frames[-1]
+            node: _Node = frame[0]
+            descended = False
+            succ = node.succ
+            while frame[1] < len(succ):
+                child = self._find(succ[frame[1]])
+                succ[frame[1]] = child  # incremental de-skip (§5)
+                frame[1] += 1
+                if child is node:
+                    continue  # self-loop left over from unification
+                if child.cache_token == token:
+                    pending[node.uid] |= child.cache
+                    continue
+                if child.t_stamp != stamp:
+                    push(child)
+                    descended = True
+                    break
+                if child.t_on_stack:
+                    # Back edge: part of a cycle with ``node``.
+                    if child.t_index < node.t_low:
+                        node.t_low = child.t_index
+                # else: finished in this query but unified away — its
+                # canonical node carries the cache and was handled above.
+            if descended:
+                continue
+            frames.pop()
+            is_scc_root = node.t_low == node.t_index
+            if is_scc_root:
+                members: list[_Node] = []
+                while True:
+                    m = scc_stack.pop()
+                    m.t_on_stack = False
+                    members.append(m)
+                    if m is node:
+                        break
+                lvals: set[int] = set()
+                for m in members:
+                    lvals |= pending.pop(m.uid, set())
+                if len(members) > 1:
+                    self._unify_scc(node, members)
+                final = self._intern(frozenset(lvals))
+                node.cache = final
+                node.cache_token = token
+                result = final
+                if frames:
+                    parent = frames[-1][0]
+                    pending[parent.uid] |= final
+            elif frames:
+                # Finished node inside a still-open SCC: its pending merges
+                # when the SCC root pops; only the lowlink flows up now.
+                parent = frames[-1][0]
+                if node.t_low < parent.t_low:
+                    parent.t_low = node.t_low
+        return result
+
+    def _lvals_plain(self, root: _Node, token: int) -> frozenset[int]:
+        """No cycle elimination: plain iterative DFS over the reachable set.
+
+        Per-node caching inside cycles would be unsound without collapsing
+        them, so only the *root's* result is cached — which is exactly why
+        this ablation is catastrophically slow (§5's >50,000x figure).
+        """
+        visited: set[int] = {root.uid}
+        lvals: set[int] = set()
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            self.metrics.nodes_visited += 1
+            lvals |= node.base
+            succ = node.succ
+            for i in range(len(succ)):
+                child = self._find(succ[i])
+                succ[i] = child
+                if child.uid not in visited:
+                    visited.add(child.uid)
+                    stack.append(child)
+        result = self._intern(frozenset(lvals))
+        root.cache = result
+        root.cache_token = token
+        return result
+
+    # ------------------------------------------------------------------
+    # The iteration algorithm (Figure 5)
+    # ------------------------------------------------------------------
+
+    def solve(self) -> PointsToResult:
+        if not self.demand_load:
+            # Full preload must happen before anything marks blocks as
+            # loaded: _ensure_loaded is a no-op in this mode, so a block
+            # skipped here would never be ingested at all.
+            for name in list(self.store.block_names()):
+                self._loaded.add(name)
+                self._ingest_block(name)
+        # Statics (always loaded) seed the base elements.
+        for a in self.store.static_assignments():
+            self._ingest_assignment(a.kind, a.dst, a.src)
+
+        self._collect_funcptrs()
+
+        while True:
+            self._round += 1
+            self._cache_token = self._round
+            self.metrics.rounds = self._round
+            self._changed = False
+            self._lval_interning.clear()  # flushed each pass (§5)
+            # Index-based iteration: demand loading may append to C.
+            i = 0
+            while i < len(self._complex):
+                kind, a, b = self._complex[i]
+                i += 1
+                if kind == "store":  # *a = b
+                    y_node = self._node(b)
+                    for z in self._lval_nodes(self._node(a)):
+                        if self._add_edge(z, y_node):
+                            self._ensure_loaded(z.name)
+                else:  # a = *b
+                    d_node = self._deref_node(b)
+                    for z in self._lval_nodes(self._node(b)):
+                        if self._add_edge(d_node, z):
+                            self._ensure_loaded(z.name)
+            self._link_function_pointers()
+            if not self._changed:
+                break
+
+        self.metrics.constraints = len(self._complex)
+        self.store.discard(len(self._complex))
+        return self._result()
+
+    def _lval_nodes(self, node: _Node) -> list[_Node]:
+        """getLvalsNodes(): de-skipped nodes of the lvals of ``node``."""
+        obj_nodes = self._obj_nodes
+        find = self._find
+        out = []
+        for uid in self._lvals(node):
+            cached = obj_nodes[uid]
+            if cached is None:
+                cached = self._node(self._obj_names[uid])
+                obj_nodes[uid] = cached
+            elif cached.skip is not None:
+                cached = find(cached)
+                obj_nodes[uid] = cached
+            out.append(cached)
+        return out
+
+    def _collect_funcptrs(self) -> None:
+        for name in self.store.object_names():
+            obj = self.store.get_object(name)
+            if obj is None:
+                continue
+            if obj.is_funcptr:
+                self._funcptr_names.add(name)
+            if obj.kind == ObjectKind.FUNCTION:
+                self._function_names.add(name)
+
+    def _link_function_pointers(self) -> None:
+        for pointer in list(self._funcptr_names):
+            node = self._nodes.get(pointer)
+            if node is None:
+                continue
+            callees = [
+                name
+                for uid in self._lvals(self._find(node))
+                if (name := self._obj_names[uid]) in self._function_names
+            ]
+            for dst, src in self._linker.link(pointer, callees):
+                self.metrics.funcptr_links += 1
+                self._ingest_assignment(PrimitiveKind.COPY, dst, src)
+                self._ensure_loaded(dst)
+                self._ensure_loaded(src)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    def _result(self) -> PointsToResult:
+        # One final pass computes all lvals for all nodes — cheap after
+        # cycle elimination (§5).
+        self._round += 1
+        self._cache_token = self._round
+        self._lval_interning.clear()
+        pts: dict[str, frozenset[str]] = {}
+        to_names: dict[frozenset[int], frozenset[str]] = {}
+        for name, node in self._nodes.items():
+            if name.startswith("*") or name.startswith("$sl"):
+                continue  # synthetic deref/split nodes are not objects
+            uids = self._lvals(self._find(node))
+            cached = to_names.get(uids)
+            if cached is None:
+                cached = frozenset(self._obj_names[u] for u in uids)
+                to_names[uids] = cached
+            pts[name] = cached
+        objects = {}
+        for name in pts:
+            obj = self.store.get_object(name)
+            if obj is not None:
+                objects[name] = obj
+        return PointsToResult(
+            solver=self.name,
+            pts=pts,
+            metrics=self.metrics,
+            load_stats=self.store.stats,
+            objects=objects,
+        )
+
+
+def solve(store: ConstraintStore, **kwargs) -> PointsToResult:
+    """Run the pre-transitive solver on a store."""
+    return PreTransitiveSolver(store, **kwargs).solve()

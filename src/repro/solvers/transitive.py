@@ -1,0 +1,183 @@
+"""Baseline: worklist Andersen's analysis over a transitively-closed graph.
+
+This is the algorithm family the paper improves on (§5: "Previous
+algorithms in the literature for Andersen's analysis are based on a
+transitively closed constraint graph e.g. [4, 10, 11, 21, 23, 22]").
+Points-to sets are materialised at every node and propagated along
+inclusion edges with difference propagation; complex assignments add new
+edges as the sets they watch grow.
+
+No cycle elimination is performed — that was precisely the expensive part
+in the transitive setting ("the cost of finding cycles is non-trivial",
+§5) — which is what the solver-comparison bench demonstrates.
+
+Unlike the pre-transitive solver, this baseline loads the entire database
+up front: a transitively-closed algorithm propagates eagerly and has no
+natural point to demand-load from (§4's contrast with prior architectures).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..cla.store import ConstraintStore
+from ..ir.objects import ObjectKind
+from ..ir.primitives import PrimitiveKind
+from .base import FunPtrLinker, PointsToResult, SolverMetrics
+
+
+class TransitiveSolver:
+    """Set-based worklist Andersen baseline."""
+
+    name = "transitive"
+
+    def __init__(self, store: ConstraintStore):
+        self.store = store
+        self.metrics = SolverMetrics()
+        self._pts: dict[str, set[str]] = {}
+        self._delta: dict[str, set[str]] = {}
+        self._succ: dict[str, set[str]] = {}  # src -> dsts (pts flows ->)
+        self._loads_on: dict[str, list[str]] = {}  # p -> [x : x = *p]
+        self._stores_on: dict[str, list[str]] = {}  # p -> [y : *p = y]
+        self._worklist: deque[str] = deque()
+        self._queued: set[str] = set()
+        self._linker = FunPtrLinker(store)
+        self._funcptrs: set[str] = set()
+        self._functions: set[str] = set()
+        self._split_counter = 0
+
+    # -- constraint intake ---------------------------------------------------
+
+    def _ingest(self, kind: PrimitiveKind, dst: str, src: str) -> None:
+        obj = self.store.get_object(dst)
+        if obj is not None and not obj.may_point:
+            return
+        if kind is not PrimitiveKind.ADDR:
+            sobj = self.store.get_object(src)
+            if sobj is not None and not sobj.may_point:
+                return
+        if kind is PrimitiveKind.COPY:
+            self._add_edge(src, dst)
+        elif kind is PrimitiveKind.ADDR:
+            self._add_pts(dst, {src})
+        elif kind is PrimitiveKind.LOAD:
+            self._loads_on.setdefault(src, []).append(dst)
+            self.metrics.constraints += 1
+            self._reprocess_pointer(src)
+        elif kind is PrimitiveKind.STORE:
+            self._stores_on.setdefault(dst, []).append(src)
+            self.metrics.constraints += 1
+            self._reprocess_pointer(dst)
+        else:  # STORE_LOAD: split, as in the pre-transitive solver
+            self._split_counter += 1
+            t = f"$sl{self._split_counter}"
+            self._ingest(PrimitiveKind.LOAD, t, src)
+            self._ingest(PrimitiveKind.STORE, dst, t)
+
+    def _reprocess_pointer(self, p: str) -> None:
+        """A new complex constraint on ``p``: replay its current targets."""
+        current = self._pts.get(p)
+        if current:
+            self._delta.setdefault(p, set()).update(current)
+            self._enqueue(p)
+
+    def _add_edge(self, src: str, dst: str) -> bool:
+        dsts = self._succ.setdefault(src, set())
+        if dst in dsts:
+            return False
+        dsts.add(dst)
+        self.metrics.edges_added += 1
+        current = self._pts.get(src)
+        if current:
+            self._add_pts(dst, current)
+        return True
+
+    def _add_pts(self, node: str, targets: set[str] | frozenset[str]) -> None:
+        mine = self._pts.setdefault(node, set())
+        new = targets - mine
+        if not new:
+            return
+        mine |= new
+        self._delta.setdefault(node, set()).update(new)
+        self._enqueue(node)
+
+    def _enqueue(self, node: str) -> None:
+        if node not in self._queued:
+            self._queued.add(node)
+            self._worklist.append(node)
+
+    # -- solving ------------------------------------------------------------
+
+    def solve(self) -> PointsToResult:
+        for a in self.store.static_assignments():
+            self._ingest(a.kind, a.dst, a.src)
+        for name in list(self.store.block_names()):
+            block = self.store.load_block(name)
+            if block is None:
+                continue
+            for a in block.assignments:
+                self._ingest(a.kind, a.dst, a.src)
+        self._collect_funcptrs()
+
+        while self._worklist:
+            self.metrics.rounds += 1
+            node = self._worklist.popleft()
+            self._queued.discard(node)
+            delta = self._delta.pop(node, set())
+            if not delta:
+                continue
+            # Propagate along inclusion edges (transitive closure step).
+            for dst in self._succ.get(node, ()):
+                self._add_pts(dst, delta)
+            # Complex constraints watching this pointer.
+            for x in self._loads_on.get(node, ()):
+                for z in delta:
+                    self._add_edge(z, x)
+            for y in self._stores_on.get(node, ()):
+                for z in delta:
+                    self._add_edge(y, z)
+            # Function pointers gaining callees.
+            if node in self._funcptrs:
+                callees = [t for t in delta if t in self._functions]
+                for dst, src in self._linker.link(node, callees):
+                    self.metrics.funcptr_links += 1
+                    self._ingest(PrimitiveKind.COPY, dst, src)
+
+        self.store.discard(self.metrics.constraints)
+        return self._result()
+
+    def _collect_funcptrs(self) -> None:
+        for name in self.store.object_names():
+            obj = self.store.get_object(name)
+            if obj is None:
+                continue
+            if obj.is_funcptr:
+                self._funcptrs.add(name)
+            if obj.kind == ObjectKind.FUNCTION:
+                self._functions.add(name)
+        # Replay already-known targets for funcptrs discovered late.
+        for fp in self._funcptrs:
+            self._reprocess_pointer(fp)
+
+    def _result(self) -> PointsToResult:
+        pts = {
+            name: frozenset(targets)
+            for name, targets in self._pts.items()
+            if not name.startswith("$sl")
+        }
+        objects = {}
+        for name in pts:
+            obj = self.store.get_object(name)
+            if obj is not None:
+                objects[name] = obj
+        return PointsToResult(
+            solver=self.name,
+            pts=pts,
+            metrics=self.metrics,
+            load_stats=self.store.stats,
+            objects=objects,
+        )
+
+
+def solve(store: ConstraintStore) -> PointsToResult:
+    return TransitiveSolver(store).solve()

@@ -1,0 +1,14 @@
+"""Synthetic benchmark generation (the paper-benchmark substitute, §6).
+
+The paper's benchmarks are proprietary or impractically large to ship;
+:func:`generate` synthesises C code bases whose assignment mix matches each
+Table 2 row.  See DESIGN.md for the substitution argument.
+"""
+
+from .generator import HEADER_NAME, SynthProgram, generate
+from .profiles import BENCHMARK_ORDER, PROFILES, SynthProfile, get_profile
+
+__all__ = [
+    "HEADER_NAME", "SynthProgram", "generate",
+    "BENCHMARK_ORDER", "PROFILES", "SynthProfile", "get_profile",
+]

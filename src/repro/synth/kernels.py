@@ -1,0 +1,77 @@
+"""Hand-shaped constraint kernels for targeted experiments.
+
+Unlike :mod:`repro.synth.generator` (whole code bases in C), these build
+constraint systems directly at the primitive-assignment level to isolate
+one algorithmic behaviour.
+"""
+
+from __future__ import annotations
+
+from ..cla.store import MemoryStore
+from ..ir.lower import UnitIR
+from ..ir.objects import ObjectKind, ProgramObject
+from ..ir.primitives import PrimitiveAssignment, PrimitiveKind
+
+
+def ablation_kernel(n: int) -> MemoryStore:
+    """The getLvals blowup kernel behind the paper's ">50,000x" ablation.
+
+    A copy chain ``v0 -> ... -> vn`` ending in a base element, a back edge
+    every 8 nodes (cycles), and ``n`` stores ``*h_k = y_k`` where every
+    ``h_k`` aliases the chain head — so processing each store must compute
+    reachability over the whole chain.  With caching + cycle elimination a
+    round costs O(n); with neither, O(n^2).
+    """
+    unit = UnitIR(filename="ablation.c")
+
+    def obj(name: str) -> str:
+        unit.objects[name] = ProgramObject(name=name,
+                                           kind=ObjectKind.VARIABLE)
+        return name
+
+    def emit(kind: PrimitiveKind, dst: str, src: str) -> None:
+        unit.assignments.append(
+            PrimitiveAssignment(kind=kind, dst=dst, src=src)
+        )
+
+    chain = [obj(f"v{i}") for i in range(n + 1)]
+    target = obj("t")
+    for i in range(n):
+        emit(PrimitiveKind.COPY, chain[i], chain[i + 1])
+        if i % 8 == 7:
+            emit(PrimitiveKind.COPY, chain[i + 1], chain[i])  # cycle
+    emit(PrimitiveKind.ADDR, chain[n], target)
+    head = chain[0]
+    for k in range(n):
+        h_k = obj(f"h{k}")
+        y_k = obj(f"y{k}")
+        emit(PrimitiveKind.COPY, h_k, head)
+        emit(PrimitiveKind.STORE, h_k, y_k)
+    return MemoryStore(unit)
+
+
+def join_point_kernel(readers: int, lvals: int) -> MemoryStore:
+    """The §5 join-point shape in isolation: one hub that ``lvals`` base
+    elements flow into and ``readers`` pointers copy from.  Relations are
+    readers x lvals while the graph has readers + lvals edges — the case
+    where pre-transitive on-demand sets beat eager propagation."""
+    unit = UnitIR(filename="join.c")
+
+    def obj(name: str) -> str:
+        unit.objects[name] = ProgramObject(name=name,
+                                           kind=ObjectKind.VARIABLE)
+        return name
+
+    hub = obj("hub")
+    for i in range(lvals):
+        feeder = obj(f"src{i}")
+        target = obj(f"t{i}")
+        unit.assignments.append(PrimitiveAssignment(
+            kind=PrimitiveKind.ADDR, dst=feeder, src=target))
+        unit.assignments.append(PrimitiveAssignment(
+            kind=PrimitiveKind.COPY, dst=hub, src=feeder))
+    for i in range(readers):
+        reader = obj(f"r{i}")
+        unit.assignments.append(PrimitiveAssignment(
+            kind=PrimitiveKind.COPY, dst=reader, src=hub))
+    return MemoryStore(unit)

@@ -1,0 +1,75 @@
+"""Differential test: the regex-driven lexer fast path must produce
+exactly the same token stream as the character-level reference scanner."""
+
+from repro.cfront.lexer import Lexer
+from repro.cfront.source import SourceFile
+
+CORPUS = [
+    "int x = 42;",
+    "a+++b--- --c",
+    "p->q.r[i]->s",
+    "x <<= 1; y >>= 2; z ^= 3 | 4 & 5;",
+    "f(1.5e-3, 0x1F, 017, 'a', '\\n', \"str\", L\"wide\", L'c')",
+    "#define F(a, b) a##b\nF(x, y)",
+    "/* block */ code // line\nmore",
+    "a \\\n b",
+    "...  ..  . ## #",
+    "\"adjacent\" \"strings\"",
+    "id$with$dollars _under 0xABu 42L 1e10",
+]
+
+
+def streams(text):
+    ref = Lexer(SourceFile("d.c", text)).tokens_reference()
+    fast = Lexer(SourceFile("d.c", text)).tokens()
+    return ref, fast
+
+
+def test_corpus_token_identity():
+    for text in CORPUS:
+        ref, fast = streams(text)
+        assert len(ref) == len(fast), text
+        for a, b in zip(ref, fast):
+            assert a.kind == b.kind, (text, a, b)
+            assert a.value == b.value, (text, a, b)
+            assert a.spaced == b.spaced, (text, a, b)
+            assert a.at_line_start == b.at_line_start, (text, a, b)
+            assert a.location == b.location, (text, a, b)
+
+
+def test_synthetic_file_token_identity():
+    from repro.synth import generate
+
+    program = generate("nethack", scale=0.05, seed=31)
+    name, text = sorted(program.files.items())[0]
+    ref, fast = streams(text)
+    assert [(t.kind, t.value) for t in ref] == \
+        [(t.kind, t.value) for t in fast]
+    assert [t.location for t in ref] == [t.location for t in fast]
+
+
+def test_hypothesis_style_fuzz():
+    import random
+
+    rng = random.Random(4)
+    atoms = ["x", "42", "0x1F", "1.5e-3", "'c'", '"s"', "+", "++", "<<=",
+             "->", "...", "#", "\n", " ", "\t", "/*c*/", "//l\n", "(",
+             ")", "{", "}", ";"]
+    for _ in range(200):
+        text = "".join(rng.choice(atoms) for _ in range(rng.randint(1, 40)))
+        try:
+            ref, fast = streams(text)
+        except Exception as ref_error:
+            # Both paths must fail identically.
+            try:
+                Lexer(SourceFile("d.c", text)).tokens()
+            except Exception as fast_error:
+                assert type(ref_error) is type(fast_error)
+                continue
+            raise AssertionError(
+                f"reference raised but fast path did not: {text!r}"
+            )
+        assert [(t.kind, t.value, t.spaced, t.at_line_start, t.location)
+                for t in ref] == \
+            [(t.kind, t.value, t.spaced, t.at_line_start, t.location)
+             for t in fast], text

@@ -1,0 +1,339 @@
+"""Tests for expression and statement parsing."""
+
+import pytest
+
+from repro.cfront import ParseError, parse_c
+from repro.cfront import cast as A
+
+
+def expr(text, decls="int a, b, c, *p, **pp; struct S { int f; int *g; } s, *sp;"):
+    """Parse `text` as the expression of `void t(void){ (text); }`."""
+    unit = parse_c(f"{decls}\nvoid t(void) {{ {text}; }}")
+    stmt = unit.functions()[0].body.items[0]
+    assert isinstance(stmt, A.ExprStmt)
+    return stmt.expr
+
+
+def stmts(body, decls="int a, b, c, *p;"):
+    unit = parse_c(f"{decls}\nvoid t(void) {{ {body} }}")
+    return unit.functions()[0].body.items
+
+
+class TestPrecedence:
+    def test_mul_binds_tighter_than_add(self):
+        e = expr("a + b * c")
+        assert isinstance(e, A.Binary) and e.op == "+"
+        assert isinstance(e.right, A.Binary) and e.right.op == "*"
+
+    def test_left_associativity(self):
+        e = expr("a - b - c")
+        assert e.op == "-"
+        assert isinstance(e.left, A.Binary) and e.left.op == "-"
+
+    def test_parens_override(self):
+        e = expr("(a + b) * c")
+        assert e.op == "*"
+        assert isinstance(e.left, A.Binary) and e.left.op == "+"
+
+    def test_shift_vs_relational(self):
+        e = expr("a << b < c")
+        assert e.op == "<"
+        assert e.left.op == "<<"
+
+    def test_bitwise_chain(self):
+        e = expr("a | b ^ c & a")
+        assert e.op == "|"
+        assert e.right.op == "^"
+        assert e.right.right.op == "&"
+
+    def test_logical_lowest(self):
+        e = expr("a == b && b == c || c")
+        assert e.op == "||"
+        assert e.left.op == "&&"
+
+    def test_assignment_right_assoc(self):
+        e = expr("a = b = c")
+        assert isinstance(e, A.Assignment)
+        assert isinstance(e.rhs, A.Assignment)
+
+    def test_compound_assignment(self):
+        e = expr("a += b")
+        assert isinstance(e, A.Assignment) and e.op == "+="
+
+    def test_conditional(self):
+        e = expr("a ? b : c")
+        assert isinstance(e, A.Conditional)
+
+    def test_conditional_nests_right(self):
+        e = expr("a ? b : c ? a : b")
+        assert isinstance(e.otherwise, A.Conditional)
+
+    def test_comma(self):
+        e = expr("a, b, c")
+        assert isinstance(e, A.Comma)
+        assert len(e.parts) == 3
+
+
+class TestUnaryAndPostfix:
+    def test_deref(self):
+        e = expr("*p")
+        assert isinstance(e, A.Unary) and e.op == "*"
+
+    def test_address_of(self):
+        e = expr("&a")
+        assert isinstance(e, A.Unary) and e.op == "&"
+
+    def test_double_deref(self):
+        e = expr("**pp")
+        assert e.op == "*" and e.operand.op == "*"
+
+    def test_prefix_increment(self):
+        e = expr("++a")
+        assert isinstance(e, A.Unary) and e.op == "++"
+
+    def test_postfix_increment(self):
+        e = expr("a++")
+        assert isinstance(e, A.Postfix) and e.op == "++"
+
+    def test_negation_chain(self):
+        e = expr("!!a")
+        assert e.op == "!" and e.operand.op == "!"
+
+    def test_sizeof_expr(self):
+        e = expr("sizeof a")
+        assert isinstance(e, A.Unary) and e.op == "sizeof"
+
+    def test_sizeof_type(self):
+        e = expr("sizeof(int)")
+        assert isinstance(e, A.SizeofType)
+
+    def test_sizeof_parenthesized_expr(self):
+        e = expr("sizeof(a)")
+        assert isinstance(e, A.Unary) and e.op == "sizeof"
+
+    def test_member_access(self):
+        e = expr("s.f")
+        assert isinstance(e, A.Member) and not e.arrow
+        assert e.field_name == "f"
+
+    def test_arrow_access(self):
+        e = expr("sp->f")
+        assert isinstance(e, A.Member) and e.arrow
+
+    def test_chained_postfix(self):
+        e = expr("sp->g[0]")
+        assert isinstance(e, A.Index)
+        assert isinstance(e.base, A.Member)
+
+    def test_index(self):
+        e = expr("p[a + 1]")
+        assert isinstance(e, A.Index)
+        assert isinstance(e.index, A.Binary)
+
+    def test_call(self):
+        e = expr("t2(a, b)", decls="int a, b; int t2(int, int);")
+        assert isinstance(e, A.Call)
+        assert len(e.args) == 2
+
+    def test_call_no_args(self):
+        e = expr("t2()", decls="int t2(void);")
+        assert isinstance(e, A.Call) and e.args == []
+
+    def test_call_through_pointer(self):
+        e = expr("(*fp)(a)", decls="int a; int (*fp)(int);")
+        assert isinstance(e, A.Call)
+        assert isinstance(e.func, A.Unary)
+
+
+class TestCasts:
+    def test_simple_cast(self):
+        e = expr("(int)a")
+        assert isinstance(e, A.Cast)
+
+    def test_pointer_cast(self):
+        e = expr("(char *)p")
+        assert isinstance(e, A.Cast)
+
+    def test_cast_vs_paren_expr(self):
+        e = expr("(a)")
+        assert isinstance(e, A.Identifier)
+
+    def test_cast_with_typedef(self):
+        e = expr("(T)a", decls="typedef int T; int a;")
+        assert isinstance(e, A.Cast)
+
+    def test_nested_casts(self):
+        e = expr("(void *)(char *)p")
+        assert isinstance(e, A.Cast)
+        assert isinstance(e.operand, A.Cast)
+
+    def test_compound_literal(self):
+        e = expr("(struct S){1, &a}")
+        assert isinstance(e, A.CompoundLiteral)
+        assert len(e.init.items) == 2
+
+
+class TestLiterals:
+    def test_int_literal(self):
+        e = expr("42")
+        assert isinstance(e, A.IntLiteral) and e.value == 42
+
+    def test_hex_literal(self):
+        assert expr("0xff").value == 255
+
+    def test_char_literal(self):
+        e = expr("'A'")
+        assert isinstance(e, A.CharLiteral) and e.value == 65
+
+    def test_float_literal(self):
+        e = expr("1.5")
+        assert isinstance(e, A.FloatLiteral) and e.value == 1.5
+
+    def test_float_exponent(self):
+        assert expr("2e3").value == 2000.0
+
+    def test_string_literal(self):
+        e = expr('"hello"')
+        assert isinstance(e, A.StringLiteral) and e.value == "hello"
+
+    def test_adjacent_strings_concatenate(self):
+        e = expr('"ab" "cd"')
+        assert e.value == "abcd"
+
+
+class TestStatements:
+    def test_if_else(self):
+        items = stmts("if (a) b = 1; else b = 2;")
+        s = items[0]
+        assert isinstance(s, A.If)
+        assert s.otherwise is not None
+
+    def test_dangling_else(self):
+        items = stmts("if (a) if (b) c = 1; else c = 2;")
+        outer = items[0]
+        assert outer.otherwise is None
+        assert outer.then.otherwise is not None
+
+    def test_while(self):
+        s = stmts("while (a) a = a - 1;")[0]
+        assert isinstance(s, A.While)
+
+    def test_do_while(self):
+        s = stmts("do a = 1; while (a);")[0]
+        assert isinstance(s, A.DoWhile)
+
+    def test_for_classic(self):
+        s = stmts("for (a = 0; a < 10; a++) b = a;")[0]
+        assert isinstance(s, A.For)
+        assert isinstance(s.init, A.Assignment)
+
+    def test_for_with_declaration(self):
+        s = stmts("for (int i = 0; i < 3; i++) a = i;")[0]
+        assert isinstance(s.init, list)
+        assert s.init[0].name == "i"
+
+    def test_for_empty_clauses(self):
+        s = stmts("for (;;) break;")[0]
+        assert s.init is None and s.cond is None and s.step is None
+
+    def test_switch(self):
+        s = stmts(
+            "switch (a) { case 1: b = 1; break; default: b = 0; }"
+        )[0]
+        assert isinstance(s, A.Switch)
+
+    def test_goto_and_label(self):
+        items = stmts("goto end; end: a = 1;")
+        assert isinstance(items[0], A.Goto)
+        assert isinstance(items[1], A.Label)
+        assert items[1].name == "end"
+
+    def test_label_at_block_end(self):
+        items = stmts("goto done; done: ;")
+        assert isinstance(items[1], A.Label)
+
+    def test_return_value(self):
+        unit = parse_c("int f(void) { return 42; }")
+        ret = unit.functions()[0].body.items[0]
+        assert isinstance(ret, A.Return)
+        assert ret.value.value == 42
+
+    def test_return_void(self):
+        unit = parse_c("void f(void) { return; }")
+        ret = unit.functions()[0].body.items[0]
+        assert ret.value is None
+
+    def test_break_continue(self):
+        items = stmts("while (a) { if (b) break; continue; }")
+        body = items[0].body
+        assert isinstance(body.items[0].then, A.Break)
+        assert isinstance(body.items[1], A.Continue)
+
+    def test_empty_statement(self):
+        s = stmts(";")[0]
+        assert isinstance(s, A.ExprStmt) and s.expr is None
+
+    def test_nested_blocks(self):
+        s = stmts("{ { a = 1; } }")[0]
+        assert isinstance(s, A.Compound)
+
+    def test_mixed_decls_and_code(self):
+        items = stmts("a = 1; int z; z = a;")
+        assert isinstance(items[1], A.Decl)
+
+    def test_block_scope_shadowing(self):
+        # Inner int a shadows outer; both parse.
+        items = stmts("{ int a; a = 1; } a = 2;")
+        assert len(items) == 2
+
+
+class TestInitializers:
+    def test_scalar_init(self):
+        unit = parse_c("int x = 5;")
+        assert unit.declarations()[0].init.value == 5
+
+    def test_braced_init(self):
+        unit = parse_c("int a[3] = {1, 2, 3};")
+        init = unit.declarations()[0].init
+        assert isinstance(init, A.InitList)
+        assert len(init.items) == 3
+
+    def test_nested_init(self):
+        unit = parse_c("int m[2][2] = {{1, 2}, {3, 4}};")
+        init = unit.declarations()[0].init
+        assert isinstance(init.items[0], A.InitList)
+
+    def test_designated_initializers_flattened(self):
+        unit = parse_c(
+            "struct P { int x, y; }; struct P p = {.x = 1, .y = 2};"
+        )
+        init = unit.declarations()[0].init
+        assert len(init.items) == 2
+
+    def test_array_designators(self):
+        unit = parse_c("int a[4] = {[2] = 9};")
+        init = unit.declarations()[0].init
+        assert len(init.items) == 1
+
+    def test_trailing_comma(self):
+        unit = parse_c("int a[2] = {1, 2,};")
+        assert len(unit.declarations()[0].init.items) == 2
+
+    def test_address_in_initializer(self):
+        unit = parse_c("int v; int *p = &v;")
+        init = unit.declarations()[1].init
+        assert isinstance(init, A.Unary) and init.op == "&"
+
+
+class TestWalk:
+    def test_walk_visits_nested(self):
+        unit = parse_c("void f(void) { int a; if (a) a = a + 1; }")
+        names = [
+            n.name for n in A.walk(unit.functions()[0]) if isinstance(n, A.Identifier)
+        ]
+        assert names.count("a") == 3
+
+    def test_child_expressions_of_binary(self):
+        e = expr("a + b")
+        kids = A.child_expressions(e)
+        assert len(kids) == 2

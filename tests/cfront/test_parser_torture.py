@@ -1,0 +1,238 @@
+"""Parser torture tests: the constructs that break naive C parsers."""
+
+import pytest
+
+from repro.cfront import (
+    ArrayType,
+    FunctionType,
+    IntType,
+    ParseError,
+    PointerType,
+    StructType,
+    parse_c,
+)
+from repro.cfront import cast as A
+
+
+def decl_type(text, name):
+    unit = parse_c(text)
+    return {d.name: d for d in unit.items if isinstance(d, A.Decl)}[name].type
+
+
+class TestDeclaratorTorture:
+    def test_pointer_to_array_of_function_pointers(self):
+        t = decl_type("int (*(*p)[3])(void);", "p")
+        assert isinstance(t, PointerType)
+        assert isinstance(t.target, ArrayType)
+        assert isinstance(t.target.element, PointerType)
+        assert isinstance(t.target.element.target, FunctionType)
+
+    def test_function_returning_pointer_to_array(self):
+        t = decl_type("int (*f(void))[4];", "f")
+        assert isinstance(t, FunctionType)
+        assert isinstance(t.return_type, PointerType)
+        assert isinstance(t.return_type.target, ArrayType)
+
+    def test_signal_prototype(self):
+        # The classic: void (*signal(int, void (*)(int)))(int);
+        t = decl_type("void (*mysignal(int sig, void (*handler)(int)))(int);",
+                      "mysignal")
+        assert isinstance(t, FunctionType)
+        assert isinstance(t.return_type, PointerType)
+        assert isinstance(t.return_type.target, FunctionType)
+        assert isinstance(t.params[1].type, PointerType)
+
+    def test_const_everywhere(self):
+        t = decl_type("const int * const * const p;", "p")
+        assert isinstance(t, PointerType)
+        assert "const" in t.qualifiers
+
+    def test_nested_paren_declarator(self):
+        t = decl_type("int (((x)));", "x")
+        assert isinstance(t, IntType)
+
+    def test_typedef_of_function_pointer_used_in_struct(self):
+        t = decl_type("""
+        typedef int (*cb_t)(int);
+        struct Handlers { cb_t on_read; cb_t on_write; } h;
+        """, "h")
+        assert isinstance(t, StructType)
+        field = t.field_named("on_read")
+        assert isinstance(field.type, PointerType)
+        assert isinstance(field.type.target, FunctionType)
+
+
+class TestAmbiguityTorture:
+    def test_typedef_vs_multiplication(self):
+        # After 'typedef int T;', "T * p;" is a declaration.
+        unit = parse_c("typedef int T; void f(void) { T * p; p = 0; }")
+        body = unit.functions()[0].body
+        assert isinstance(body.items[0], A.Decl)
+        assert body.items[0].name == "p"
+
+    def test_variable_star_is_expression(self):
+        # Without the typedef, "T * p;" is a multiplication expression.
+        unit = parse_c("void f(void) { int T, p, r; r = T * p; }")
+        assert isinstance(unit.functions()[0].body.items[-1], A.ExprStmt)
+
+    def test_cast_vs_call(self):
+        # (T)(x) with typedef T is a cast; (g)(x) is a call.
+        unit = parse_c("""
+        typedef int T;
+        int g(int v) { return v; }
+        void f(void) { int a, b; a = (T)(b); b = (g)(a); }
+        """)
+        stmts = [s for s in unit.functions()[1].body.items
+                 if isinstance(s, A.ExprStmt)]
+        assert isinstance(stmts[0].expr.rhs, A.Cast)
+        assert isinstance(stmts[1].expr.rhs, A.Call)
+
+    def test_shadowed_typedef_in_inner_scope(self):
+        unit = parse_c("""
+        typedef int T;
+        void f(void) {
+            int T;           /* shadows the typedef */
+            int r;
+            T = 3;
+            r = T * 2;       /* multiplication, not declaration */
+        }
+        T global_t;          /* typedef visible again at file scope */
+        """)
+        assert any(isinstance(i, A.Decl) and i.name == "global_t"
+                   for i in unit.items)
+
+    def test_sizeof_paren_expr_vs_type(self):
+        unit = parse_c("""
+        typedef int T;
+        void f(void) {
+            int a, r;
+            r = sizeof(T);      /* type */
+            r = sizeof(a);      /* parenthesised expression */
+            r = sizeof a;       /* unary on expression */
+        }
+        """)
+        stmts = [s for s in unit.functions()[0].body.items
+                 if isinstance(s, A.ExprStmt)]
+        assert isinstance(stmts[0].expr.rhs, A.SizeofType)
+        assert isinstance(stmts[1].expr.rhs, A.Unary)
+        assert isinstance(stmts[2].expr.rhs, A.Unary)
+
+    def test_declaration_vs_function_call_statement(self):
+        # "T(x);" with typedef T declares x; "g(x);" calls g.
+        unit = parse_c("""
+        typedef int T;
+        int g(int);
+        void f(void) {
+            T (x);
+            int y;
+            g(y);
+        }
+        """)
+        body = unit.functions()[0].body.items
+        assert isinstance(body[0], A.Decl)
+        assert body[0].name == "x"
+        assert isinstance(body[2], A.ExprStmt)
+
+
+class TestExpressionTorture:
+    def expr(self, text):
+        unit = parse_c(
+            "int a, b, c, *p, **pp; char *s;\n"
+            f"void t(void) {{ {text}; }}"
+        )
+        return unit.functions()[0].body.items[0].expr
+
+    def test_ternary_in_ternary(self):
+        e = self.expr("a ? b ? 1 : 2 : c ? 3 : 4")
+        assert isinstance(e, A.Conditional)
+        assert isinstance(e.then, A.Conditional)
+        assert isinstance(e.otherwise, A.Conditional)
+
+    def test_comma_in_call_vs_comma_operator(self):
+        e = self.expr("t2((a, b), c)", )
+        assert isinstance(e, A.Call)
+        assert len(e.args) == 2
+        assert isinstance(e.args[0], A.Comma)
+
+    def test_deref_of_postincrement(self):
+        e = self.expr("*p++")
+        assert isinstance(e, A.Unary) and e.op == "*"
+        assert isinstance(e.operand, A.Postfix)
+
+    def test_address_of_array_element_member(self):
+        unit = parse_c("""
+        struct S { int v[3]; };
+        struct S arr[2];
+        int *p;
+        void f(void) { p = &arr[1].v[2]; }
+        """)
+        stmt = unit.functions()[0].body.items[0]
+        inner = stmt.expr.rhs
+        assert isinstance(inner, A.Unary) and inner.op == "&"
+        assert isinstance(inner.operand, A.Index)
+
+    def test_cast_of_negative_literal(self):
+        e = self.expr("(char)-1")
+        assert isinstance(e, A.Cast)
+        assert isinstance(e.operand, A.Unary)
+
+    def test_double_negation_vs_predecrement(self):
+        e = self.expr("- -a")
+        assert e.op == "-" and e.operand.op == "-"
+        e2 = self.expr("--a")
+        assert e2.op == "--"
+
+    def test_conditional_assignment_rhs(self):
+        e = self.expr("a = b ? c : (b = c)")
+        assert isinstance(e, A.Assignment)
+        assert isinstance(e.rhs, A.Conditional)
+
+
+class TestPreprocessorParserInterplay:
+    def test_macro_generating_declaration(self):
+        unit = parse_c("""
+        #define DECLARE_PAIR(name) int name##_a; int name##_b
+        DECLARE_PAIR(first);
+        DECLARE_PAIR(second);
+        """)
+        names = {d.name for d in unit.declarations()}
+        assert names == {"first_a", "first_b", "second_a", "second_b"}
+
+    def test_macro_generating_function(self):
+        unit = parse_c("""
+        #define GETTER(field) int get_##field(void) { return field; }
+        int width;
+        GETTER(width)
+        """)
+        assert unit.functions()[0].name == "get_width"
+
+    def test_conditional_struct_layout(self):
+        unit = parse_c("""
+        #define BIG 1
+        struct Config {
+        #if BIG
+            long value;
+        #else
+            short value;
+        #endif
+        } config;
+        """)
+        t = unit.declarations()[0].type
+        assert t.field_named("value").type.kind == "long"
+
+    def test_include_defines_typedef_used_later(self):
+        from repro.cfront import IncludeResolver
+
+        resolver = IncludeResolver(virtual_files={
+            "types.h": "typedef unsigned long word_t;",
+        })
+        unit = parse_c('#include "types.h"\nword_t w;', resolver=resolver)
+        non_typedefs = [d for d in unit.declarations() if not d.is_typedef]
+        assert non_typedefs[0].name == "w"
+
+    def test_assert_macro_is_noop(self):
+        unit = parse_c("""
+        #include <assert.h>
+        void f(int n) { assert(n > 0); }
+        """)
+        assert len(unit.functions()) == 1

@@ -1,0 +1,241 @@
+"""Round-trip tests: parse -> unparse -> parse must preserve structure
+and analysis semantics."""
+
+import re
+
+import pytest
+
+from repro.cfront import parse_c
+from repro.cfront.unparse import declaration, unparse, unparse_expr
+from repro.cfront.ctypes import (
+    ArrayType,
+    FunctionType,
+    IntType,
+    Param,
+    PointerType,
+)
+from repro.ir import lower_translation_unit
+
+
+def normalized_primitives(src, filename="rt.c", **kwargs):
+    """Lowered primitives with location-dependent parts normalised."""
+    ir = lower_translation_unit(parse_c(src, filename=filename), **kwargs)
+
+    def norm(name):
+        name = re.sub(r"@[^:]+:\d+(:\d+)?$", "@site", name)  # heap/string sites
+        name = re.sub(r"\$t\d+", "$t", name)  # temp numbering
+        name = name.replace(filename + "::", "FILE::")
+        return name
+
+    return sorted(
+        (a.kind, norm(a.dst), norm(a.src), a.op, a.strength)
+        for a in ir.assignments
+    )
+
+
+def assert_round_trip(src):
+    unit = parse_c(src, filename="rt.c")
+    text1 = unparse(unit)
+    unit2 = parse_c(text1, filename="rt.c")
+    text2 = unparse(unit2)
+    assert text1 == text2, "unparse must reach a fixpoint after one step"
+    assert normalized_primitives(src) == \
+        sorted(
+            (a.kind,
+             re.sub(r"\$t\d+", "$t",
+                    re.sub(r"@[^:]+:\d+(:\d+)?$", "@site", a.dst)
+                    ).replace("rt.c::", "FILE::"),
+             re.sub(r"\$t\d+", "$t",
+                    re.sub(r"@[^:]+:\d+(:\d+)?$", "@site", a.src)
+                    ).replace("rt.c::", "FILE::"),
+             a.op, a.strength)
+            for a in lower_translation_unit(unit2).assignments
+        ), "analysis semantics must survive the round trip"
+
+
+class TestDeclarationRendering:
+    def test_scalar(self):
+        assert declaration(IntType(), "x") == "int x"
+
+    def test_pointer(self):
+        assert declaration(PointerType(IntType()), "p") == "int *p"
+
+    def test_array(self):
+        assert declaration(ArrayType(IntType(), 4), "a") == "int a[4]"
+
+    def test_pointer_to_array(self):
+        t = PointerType(ArrayType(IntType(), 4))
+        out = declaration(t, "p")
+        assert "(" in out and "[4]" in out
+
+    def test_function_pointer(self):
+        t = PointerType(FunctionType(IntType(), (Param(None, IntType()),)))
+        out = declaration(t, "fp")
+        assert out.endswith(")(int)")
+
+    def test_array_of_function_pointers(self):
+        inner = PointerType(FunctionType(IntType(), ()))
+        t = ArrayType(inner, 3)
+        out = declaration(t, "tbl")
+        assert "[3]" in out and "(" in out
+
+    def test_round_trip_of_rendered_declarations(self):
+        for src in [
+            "int x;", "int *p;", "int **pp;", "int a[7];",
+            "int *a[3];", "int (*p)[3];", "int (*fp)(int, char *);",
+            "int (*tbl[4])(void);", "char *(*f(int))(void);",
+        ]:
+            unit = parse_c(src)
+            text = unparse(unit)
+            unit2 = parse_c(text)
+            assert unparse(unit2) == text, src
+
+
+class TestExpressionRendering:
+    def parse_expr(self, text):
+        unit = parse_c(
+            "int a, b, c, *p; struct S { int f; } s, *sp;\n"
+            f"void t(void) {{ {text}; }}"
+        )
+        return unit.functions()[0].body.items[0].expr
+
+    @pytest.mark.parametrize("text", [
+        "a + b * c",
+        "(a + b) * c",
+        "a - b - c",
+        "a - (b - c)",
+        "a << b | c",
+        "a ? b : c ? a : b",
+        "*p = a",
+        "p = &a",
+        "s.f + sp->f",
+        "p[a] = b",
+        "a = b = c",
+        "!a && ~b || c",
+        "-a + +b",
+        "a++ + ++b",
+        "(char)a",
+        "sizeof(int) + sizeof a",
+    ])
+    def test_reparse_preserves_structure(self, text):
+        e1 = self.parse_expr(text)
+        rendered = unparse_expr(e1)
+        e2 = self.parse_expr(rendered)
+        assert unparse_expr(e2) == rendered, text
+
+
+class TestUnitRoundTrips:
+    def test_globals_and_functions(self):
+        assert_round_trip("""
+        int g2, *gp;
+        static short counter;
+        int add(int a, int b) { return a + b; }
+        void touch(void) { gp = &g2; counter = add(1, 2); }
+        """)
+
+    def test_structs(self):
+        assert_round_trip("""
+        struct Pair { int *first; int *second; };
+        struct Pair pair;
+        int x;
+        void f(void) { pair.first = &x; pair.second = pair.first; }
+        """)
+
+    def test_self_referential_struct(self):
+        assert_round_trip("""
+        struct Node { struct Node *next; int *value; };
+        struct Node head;
+        void link(struct Node *n) { n->next = &head; }
+        """)
+
+    def test_control_flow(self):
+        assert_round_trip("""
+        int n, acc, *p;
+        void f(void) {
+            int i;
+            for (i = 0; i < n; i++) {
+                if (i > 3) { acc = acc + i; continue; }
+                while (acc > 0) { acc--; break; }
+            }
+            do { acc = acc * 2; } while (acc < 100);
+            switch (n) {
+            case 0: acc = 1; break;
+            default: acc = 2;
+            }
+        }
+        """)
+
+    def test_function_pointers(self):
+        assert_round_trip("""
+        int apply(int (*fn)(int), int v) { return fn(v); }
+        int twice(int v) { return v * 2; }
+        int r;
+        void go(void) { r = apply(twice, 21); }
+        """)
+
+    def test_enums(self):
+        assert_round_trip("""
+        enum Mode { OFF = 0, ON = 1, AUTO = 2 };
+        enum Mode current;
+        void set(void) { current = AUTO; }
+        """)
+
+    def test_initializers(self):
+        assert_round_trip("""
+        int a, b;
+        int *table[2] = { &a, &b };
+        int matrix[2][2] = { { 1, 2 }, { 3, 4 } };
+        """)
+
+    def test_heap_and_strings(self):
+        assert_round_trip("""
+        char *alloc_one(int n) {
+            char *p;
+            p = malloc(n);
+            return p;
+        }
+        """)
+
+    def test_goto_and_labels(self):
+        assert_round_trip("""
+        int n;
+        void f(void) {
+            if (n) goto out;
+            n = 1;
+        out:
+            n = 2;
+        }
+        """)
+
+
+class TestSyntheticCorpusRoundTrip:
+    def test_generated_code_base_survives(self):
+        """The synthetic generator's output is a large, diverse corpus:
+        every file must round-trip with identical analysis semantics."""
+        from repro.cfront import IncludeResolver
+        from repro.synth import generate
+        from repro.synth.generator import HEADER_NAME
+
+        program = generate("burlap", scale=0.03, seed=99)
+        resolver = IncludeResolver(
+            virtual_files={HEADER_NAME: program.header}
+        )
+        for name, text in sorted(program.files.items())[:3]:
+            unit = parse_c(text, filename=name, resolver=resolver)
+            rendered = unparse(unit)
+            # The unparsed file is self-contained (types hoisted), so no
+            # resolver is needed on the way back.
+            unit2 = parse_c(rendered, filename=name)
+            assert unparse(unit2) == rendered, name
+
+            def norm(assignments):
+                out = []
+                for a in assignments:
+                    dst = re.sub(r"\$t\d+", "$t", a.dst)
+                    src = re.sub(r"\$t\d+", "$t", a.src)
+                    out.append((a.kind, dst, src, a.op, a.strength))
+                return sorted(out)
+
+            first = norm(lower_translation_unit(unit).assignments)
+            second = norm(lower_translation_unit(unit2).assignments)
+            assert first == second, name

@@ -1,0 +1,139 @@
+"""Tests for the link phase: merging object files on disk."""
+
+import pytest
+
+from repro.cfront import parse_c
+from repro.cla.linker import LinkError, link_object_files, link_units
+from repro.cla.reader import DatabaseStore, ObjectFileReader
+from repro.cla.writer import write_unit
+from repro.ir import lower_translation_unit
+
+
+def compile_to(tmp_path, filename, src, field_based=True):
+    unit = lower_translation_unit(
+        parse_c(src, filename=filename), field_based=field_based
+    )
+    path = str(tmp_path / (filename + ".o"))
+    write_unit(unit, path, field_based=field_based)
+    return path
+
+
+class TestLinking:
+    def test_two_files_merge_globals(self, tmp_path):
+        a = compile_to(tmp_path, "a.c",
+                       "int shared; void f(void) { shared = 1; }")
+        b = compile_to(tmp_path, "b.c",
+                       "extern int shared; int *p;"
+                       "void g(void) { p = &shared; }")
+        out = str(tmp_path / "prog.cla")
+        link_object_files([a, b], out)
+        with ObjectFileReader(out) as r:
+            assert r.linked
+            assert len(r.find_targets("shared")) == 1
+            assert r.find_object("p") is not None
+
+    def test_statics_concatenate(self, tmp_path):
+        a = compile_to(tmp_path, "a.c", "int x, *p; void f(void){ p = &x; }")
+        b = compile_to(tmp_path, "b.c", "int y, *q; void g(void){ q = &y; }")
+        out = str(tmp_path / "prog.cla")
+        link_object_files([a, b], out)
+        with ObjectFileReader(out) as r:
+            statics = {str(s) for s in r.static_assignments()}
+            assert statics == {"p = &x", "q = &y"}
+
+    def test_cross_file_blocks_merge(self, tmp_path):
+        a = compile_to(tmp_path, "a.c", "int g2; int u; void f(void){ u = g2; }")
+        b = compile_to(tmp_path, "b.c",
+                       "extern int g2; int v; void h(void){ v = g2; }")
+        out = str(tmp_path / "prog.cla")
+        link_object_files([a, b], out)
+        with ObjectFileReader(out) as r:
+            block = r.load_block("g2")
+            assert {x.dst for x in block.assignments} == {"u", "v"}
+
+    def test_file_statics_stay_distinct(self, tmp_path):
+        a = compile_to(tmp_path, "a.c", "static int priv; "
+                                        "void f(void){ priv = 1; }")
+        b = compile_to(tmp_path, "b.c", "static int priv; "
+                                        "void g(void){ priv = 2; }")
+        out = str(tmp_path / "prog.cla")
+        link_object_files([a, b], out)
+        with ObjectFileReader(out) as r:
+            assert sorted(r.find_targets("priv")) == ["a.c::priv", "b.c::priv"]
+
+    def test_function_record_from_defining_file(self, tmp_path):
+        a = compile_to(tmp_path, "a.c", "int work(int n) { return n; }")
+        b = compile_to(tmp_path, "b.c",
+                       "int work(int); void f(void) { work(3); }")
+        out = str(tmp_path / "prog.cla")
+        link_object_files([a, b], out)
+        with ObjectFileReader(out) as r:
+            record = r.load_block("work").function_record
+            assert record is not None
+            assert record.args == ["work$arg1"]
+
+    def test_source_lines_sum(self, tmp_path):
+        unit_a = lower_translation_unit(
+            parse_c("int a;\nint b;\n", filename="a.c"),
+            )
+        unit_a.source_lines = 2
+        path_a = str(tmp_path / "a.o")
+        write_unit(unit_a, path_a)
+        unit_b = lower_translation_unit(parse_c("int c;\n", filename="b.c"))
+        unit_b.source_lines = 1
+        path_b = str(tmp_path / "b.o")
+        write_unit(unit_b, path_b)
+        out = str(tmp_path / "prog.cla")
+        link_object_files([path_a, path_b], out)
+        with ObjectFileReader(out) as r:
+            assert r.source_lines == 3
+
+    def test_mixed_field_models_rejected(self, tmp_path):
+        a = compile_to(tmp_path, "a.c", "int x;", field_based=True)
+        b = compile_to(tmp_path, "b.c", "int y;", field_based=False)
+        with pytest.raises(LinkError):
+            link_object_files([a, b], str(tmp_path / "prog.cla"))
+
+    def test_no_inputs_rejected(self, tmp_path):
+        with pytest.raises(LinkError):
+            link_object_files([], str(tmp_path / "prog.cla"))
+
+    def test_link_units_shortcut(self, tmp_path):
+        units = [
+            lower_translation_unit(parse_c("int x, *p; "
+                                           "void f(void){ p = &x; }",
+                                           filename="a.c")),
+        ]
+        out = str(tmp_path / "prog.cla")
+        link_units(units, out)
+        store = DatabaseStore.open(out)
+        assert store.stats.in_file == 1
+        store.close()
+
+    def test_linked_database_analyzes_identically(self, tmp_path):
+        """End-to-end: disk pipeline == in-memory pipeline."""
+        from repro.cla.store import MemoryStore
+        from repro.solvers import PreTransitiveSolver
+
+        src_a = "int x, *p; void f(void) { p = &x; }"
+        src_b = ("extern int *p; int **pp, *q;"
+                 "void g(void) { pp = &p; q = *pp; }")
+        a = compile_to(tmp_path, "a.c", src_a)
+        b = compile_to(tmp_path, "b.c", src_b)
+        out = str(tmp_path / "prog.cla")
+        link_object_files([a, b], out)
+
+        disk = DatabaseStore.open(out)
+        disk_result = PreTransitiveSolver(disk).solve()
+
+        units = [
+            lower_translation_unit(parse_c(src_a, filename="a.c")),
+            lower_translation_unit(parse_c(src_b, filename="b.c")),
+        ]
+        mem_result = PreTransitiveSolver(MemoryStore(units)).solve()
+
+        for name in set(disk_result.pts) | set(mem_result.pts):
+            assert disk_result.points_to(name) == mem_result.points_to(name)
+        assert disk_result.points_to("q") == {"x"}
+        assert disk_result.points_to("pp") == {"p"}
+        disk.close()

@@ -1,0 +1,290 @@
+"""Round-trip tests for the CLA binary object-file format, including
+property-based tests over randomly generated databases."""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfront.source import Location
+from repro.cla.objfile import FormatError, name_hash
+from repro.cla.reader import DatabaseStore, ObjectFileReader
+from repro.cla.store import trigger_object
+from repro.cla.writer import ObjectFileWriter
+from repro.ir.objects import ObjectKind, ProgramObject
+from repro.ir.primitives import (
+    FunctionRecord,
+    IndirectCallRecord,
+    PrimitiveAssignment,
+    PrimitiveKind,
+)
+from repro.ir.strength import Strength
+
+# -- strategies ------------------------------------------------------------
+
+names = st.text(
+    alphabet="abcxyz_$<>:.0123456789*",
+    min_size=1,
+    max_size=24,
+).filter(lambda s: not s.isspace())
+
+locations = st.builds(
+    Location,
+    filename=st.sampled_from(["a.c", "b.c", "<unknown>", "dir/longer_name.c"]),
+    line=st.integers(min_value=0, max_value=1_000_000),
+)
+
+assignments = st.builds(
+    PrimitiveAssignment,
+    kind=st.sampled_from(list(PrimitiveKind)),
+    dst=names,
+    src=names,
+    strength=st.sampled_from(list(Strength)),
+    op=st.sampled_from(["", "+", "*", ">>", "%"]),
+    location=locations,
+)
+
+objects = st.builds(
+    ProgramObject,
+    name=names,
+    kind=st.sampled_from(list(ObjectKind)),
+    type_str=st.sampled_from(["", "int", "short *", "struct S"]),
+    location=locations,
+    enclosing_function=st.sampled_from(["", "f", "a.c::g"]),
+    is_global=st.booleans(),
+    may_point=st.booleans(),
+    is_funcptr=st.booleans(),
+)
+
+
+def write_and_read(tmp_path, writer):
+    path = str(tmp_path / "t.o")
+    writer.write(path)
+    return ObjectFileReader(path)
+
+
+# -- unit tests ------------------------------------------------------------
+
+
+class TestHeader:
+    def test_flags_round_trip(self, tmp_path):
+        for field_based in (True, False):
+            w = ObjectFileWriter(field_based=field_based, linked=True)
+            path = str(tmp_path / f"t{field_based}.o")
+            w.write(path)
+            with ObjectFileReader(path) as r:
+                assert r.field_based == field_based
+                assert r.linked
+
+    def test_source_lines_round_trip(self, tmp_path):
+        w = ObjectFileWriter()
+        w.source_lines = 12345
+        with write_and_read(tmp_path, w) as r:
+            assert r.source_lines == 12345
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = str(tmp_path / "junk.o")
+        with open(path, "wb") as f:
+            f.write(b"NOTCLA__" + b"\x00" * 64)
+        with pytest.raises(FormatError):
+            ObjectFileReader(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = str(tmp_path / "empty.o")
+        open(path, "wb").close()
+        with pytest.raises(FormatError):
+            ObjectFileReader(path)
+
+    def test_all_sections_present(self, tmp_path):
+        w = ObjectFileWriter()
+        with write_and_read(tmp_path, w) as r:
+            tags = {t.rstrip(b"\x00").decode() for t in r.sections}
+            assert tags == {
+                "strtab", "global", "static", "target", "dynamic", "dynidx",
+                "calls",
+            }
+
+
+class TestAssignments:
+    def test_static_round_trip(self, tmp_path):
+        w = ObjectFileWriter()
+        a = PrimitiveAssignment(
+            kind=PrimitiveKind.ADDR, dst="p", src="x",
+            strength=Strength.DIRECT, location=Location("a.c", 7),
+        )
+        w.add_assignment(a)
+        with write_and_read(tmp_path, w) as r:
+            [back] = r.static_assignments()
+            assert back.kind is PrimitiveKind.ADDR
+            assert (back.dst, back.src) == ("p", "x")
+            assert back.location == Location("a.c", 7)
+
+    def test_block_round_trip(self, tmp_path):
+        w = ObjectFileWriter()
+        a = PrimitiveAssignment(
+            kind=PrimitiveKind.COPY, dst="x", src="y", op="+",
+            strength=Strength.STRONG, location=Location("a.c", 3),
+        )
+        w.add_assignment(a)
+        with write_and_read(tmp_path, w) as r:
+            block = r.load_block("y")
+            [back] = block.assignments
+            assert back.op == "+"
+            assert back.strength is Strength.STRONG
+
+    def test_assignment_count(self, tmp_path):
+        w = ObjectFileWriter()
+        for i in range(5):
+            w.add_assignment(PrimitiveAssignment(
+                kind=PrimitiveKind.COPY, dst=f"d{i}", src="s"))
+        w.add_assignment(PrimitiveAssignment(
+            kind=PrimitiveKind.ADDR, dst="p", src="x"))
+        with write_and_read(tmp_path, w) as r:
+            assert r.assignment_count() == 6
+
+    def test_missing_block_is_none(self, tmp_path):
+        w = ObjectFileWriter()
+        with write_and_read(tmp_path, w) as r:
+            assert r.load_block("ghost") is None
+
+
+class TestRecords:
+    def test_function_record_round_trip(self, tmp_path):
+        w = ObjectFileWriter()
+        w._ensure_block("f").function_record = FunctionRecord(
+            function="f", args=["f$arg1", "f$arg2"], ret="f$ret",
+            variadic=True, location=Location("a.c", 1),
+        )
+        with write_and_read(tmp_path, w) as r:
+            record = r.load_block("f").function_record
+            assert record.args == ["f$arg1", "f$arg2"]
+            assert record.ret == "f$ret"
+            assert record.variadic
+
+    def test_indirect_record_round_trip(self, tmp_path):
+        w = ObjectFileWriter()
+        w._ensure_block("fp").indirect_record = IndirectCallRecord(
+            pointer="fp", args=["<fp>$arg1"], ret="<fp>$ret",
+            location=Location("b.c", 9),
+        )
+        with write_and_read(tmp_path, w) as r:
+            record = r.load_block("fp").indirect_record
+            assert record.args == ["<fp>$arg1"]
+            assert record.ret == "<fp>$ret"
+
+    def test_both_records_one_block(self, tmp_path):
+        w = ObjectFileWriter()
+        block = w._ensure_block("f")
+        block.function_record = FunctionRecord(
+            function="f", args=[], ret="f$ret")
+        block.indirect_record = IndirectCallRecord(
+            pointer="f", args=[], ret="<f>$ret")
+        with write_and_read(tmp_path, w) as r:
+            block = r.load_block("f")
+            assert block.function_record is not None
+            assert block.indirect_record is not None
+
+
+class TestObjects:
+    def test_object_metadata_round_trip(self, tmp_path):
+        w = ObjectFileWriter()
+        obj = ProgramObject(
+            name="a.c::f::x", kind=ObjectKind.VARIABLE, type_str="short *",
+            location=Location("a.c", 4), enclosing_function="f",
+            is_global=False, may_point=True, is_funcptr=False,
+        )
+        w._merge_object(obj.name, obj)
+        with write_and_read(tmp_path, w) as r:
+            back = r.find_object("a.c::f::x")
+            assert back == obj
+            assert back.type_str == "short *"
+            assert back.enclosing_function == "f"
+            assert not back.is_global
+
+    def test_find_object_binary_search(self, tmp_path):
+        w = ObjectFileWriter()
+        for name in ["zeta", "alpha", "mid", "beta", "omega"]:
+            w._merge_object(name, ProgramObject(name=name,
+                                                kind=ObjectKind.VARIABLE))
+        with write_and_read(tmp_path, w) as r:
+            for name in ["alpha", "beta", "mid", "omega", "zeta"]:
+                assert r.find_object(name).name == name
+            assert r.find_object("nope") is None
+
+    def test_targets_lookup(self, tmp_path):
+        w = ObjectFileWriter()
+        for name in ["a.c::f::v", "b.c::g::v", "w"]:
+            w._merge_object(name, ProgramObject(name=name,
+                                                kind=ObjectKind.VARIABLE))
+        with write_and_read(tmp_path, w) as r:
+            assert sorted(r.find_targets("v")) == ["a.c::f::v", "b.c::g::v"]
+            assert r.find_targets("w") == ["w"]
+            assert r.find_targets("zzz") == []
+
+
+class TestDatabaseStore:
+    def test_load_accounting(self, tmp_path):
+        w = ObjectFileWriter()
+        w.add_assignment(PrimitiveAssignment(
+            kind=PrimitiveKind.ADDR, dst="p", src="x"))
+        w.add_assignment(PrimitiveAssignment(
+            kind=PrimitiveKind.COPY, dst="q", src="p"))
+        path = str(tmp_path / "db.o")
+        w.write(path)
+        store = DatabaseStore.open(path)
+        assert store.stats.in_file == 2
+        store.static_assignments()
+        assert store.stats.loaded == 1
+        store.load_block("p")
+        assert store.stats.loaded == 2
+        # Re-reading after a discard is a real load (discard-and-reload).
+        store.load_block("p")
+        assert store.stats.loaded == 3
+        store.close()
+
+
+def test_name_hash_stable():
+    assert name_hash("x") == name_hash("x")
+    assert name_hash("x") != name_hash("y")
+
+
+# -- property-based round trip ------------------------------------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(assignments, max_size=30), st.lists(objects, max_size=15))
+def test_database_round_trip(tmp_path_factory, assigns, objs):
+    """Any database survives write -> mmap read unchanged."""
+    tmp = tmp_path_factory.mktemp("objfile")
+    w = ObjectFileWriter()
+    for obj in objs:
+        w._merge_object(obj.name, obj)
+    for a in assigns:
+        w.add_assignment(a)
+    path = str(tmp / "prop.o")
+    w.write(path)
+    with ObjectFileReader(path) as r:
+        # Every written object is findable with identical metadata.
+        merged = {o.name: o for o in objs}
+        for name, obj in list(merged.items())[:5]:
+            back = r.find_object(name)
+            assert back is not None
+            assert back.kind == w.objects[name].kind
+        # Assignment multiset is preserved.
+        def key(a):
+            return (a.kind, a.dst, a.src, a.strength, a.op,
+                    a.location.filename if not a.location.is_unknown else "",
+                    a.location.line if not a.location.is_unknown else 0)
+
+        originals = sorted(key(a) for a in assigns)
+        read_back = [a for a in r.static_assignments()]
+        for block_name in r.block_names():
+            read_back.extend(r.load_block(block_name).assignments)
+        assert sorted(key(a) for a in read_back) == originals
+        # Every non-static assignment landed in its trigger's block.
+        for a in assigns:
+            trigger = trigger_object(a)
+            if trigger is not None:
+                block = r.load_block(trigger)
+                assert any(key(b) == key(a) for b in block.assignments)

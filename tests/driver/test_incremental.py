@@ -1,0 +1,171 @@
+"""Tests for the incremental workspace (§4's interactive-tool motivation)."""
+
+import pytest
+
+from repro.driver.incremental import Workspace
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    ws = Workspace(cache_dir=str(tmp_path / "cache"))
+    ws.add_header("defs.h", "extern int shared; extern int *gp;")
+    ws.add_source("a.c", '#include "defs.h"\nint shared; int *gp;'
+                         "void init(void) { gp = &shared; }")
+    ws.add_source("b.c", '#include "defs.h"\nint *mine;'
+                         "void use(void) { mine = gp; }")
+    ws.add_source("c.c", "int unrelated;")
+    yield ws
+    ws.close()
+
+
+class TestCaching:
+    def test_first_build_compiles_everything(self, workspace):
+        workspace.build()
+        assert workspace.stats.compiled == 3
+        assert workspace.stats.reused == 0
+        assert workspace.stats.linked
+
+    def test_second_build_reuses_everything(self, workspace):
+        workspace.build()
+        workspace.build()
+        assert workspace.stats.compiled == 0
+        assert workspace.stats.reused == 3
+        assert not workspace.stats.linked
+
+    def test_editing_one_file_recompiles_one(self, workspace):
+        workspace.build()
+        workspace.update_source(
+            "b.c", '#include "defs.h"\nint *mine, *extra;'
+                   "void use(void) { mine = gp; extra = mine; }"
+        )
+        workspace.build()
+        assert workspace.stats.compiled == 1
+        assert workspace.stats.reused == 2
+        assert workspace.stats.linked
+
+    def test_header_edit_recompiles_all(self, workspace):
+        workspace.build()
+        workspace.update_header("defs.h",
+                                "extern int shared; extern int *gp;"
+                                "extern int more;")
+        workspace.build()
+        assert workspace.stats.compiled == 3
+
+    def test_undone_edit_hits_cache(self, workspace):
+        original = '#include "defs.h"\nint *mine;' \
+                   "void use(void) { mine = gp; }"
+        workspace.build()
+        workspace.update_source("b.c", original + " /* tweak */")
+        workspace.build()
+        workspace.update_source("b.c", original)
+        workspace.build()
+        # The original object file is still in the cache.
+        assert workspace.stats.compiled == 0
+        assert workspace.stats.reused == 3
+
+    def test_option_change_invalidates(self, tmp_path):
+        ws = Workspace(cache_dir=str(tmp_path / "c2"))
+        ws.add_source("a.c", "struct S { int *f; } s; int *p;"
+                             "void f(void) { p = s.f; }")
+        ws.build()
+        ws.options.struct_model = "field_independent"
+        ws.build()
+        assert ws.stats.compiled == 1
+        ws.close()
+
+    def test_remove_source(self, workspace):
+        workspace.build()
+        workspace.remove_source("c.c")
+        workspace.build()
+        assert workspace.stats.reused == 2
+        assert workspace.stats.linked
+
+    def test_empty_workspace_rejected(self, tmp_path):
+        ws = Workspace(cache_dir=str(tmp_path / "c3"))
+        with pytest.raises(ValueError):
+            ws.build()
+        ws.close()
+
+    def test_update_unknown_source(self, workspace):
+        with pytest.raises(KeyError):
+            workspace.update_source("ghost.c", "int x;")
+
+
+class TestAnalysisAcrossEdits:
+    def test_results_track_edits(self, workspace):
+        r1 = workspace.analyze()
+        assert r1.points_to("mine") == {"shared"}
+
+        workspace.update_source(
+            "c.c", '#include "defs.h"\nint other;'
+                   "void redirect(void) { gp = &other; }"
+        )
+        r2 = workspace.analyze()
+        assert r2.points_to("mine") == {"shared", "other"}
+        assert workspace.stats.compiled == 1  # only c.c
+
+    def test_equivalent_to_fresh_build(self, workspace, tmp_path):
+        workspace.build()
+        workspace.update_source(
+            "b.c", '#include "defs.h"\nint *mine, **pp;'
+                   "void use(void) { mine = gp; pp = &mine; }"
+        )
+        incremental = workspace.analyze()
+
+        fresh = Workspace(cache_dir=str(tmp_path / "fresh"))
+        fresh.add_header("defs.h", workspace._headers["defs.h"])
+        for name in workspace.sources():
+            fresh.add_source(name, workspace._sources[name].text)
+        full = fresh.analyze()
+        for name in set(incremental.pts) | set(full.pts):
+            assert incremental.points_to(name) == full.points_to(name), name
+        fresh.close()
+
+    def test_persistent_cache_across_workspaces(self, tmp_path):
+        cache = str(tmp_path / "persist")
+        ws1 = Workspace(cache_dir=cache)
+        ws1.add_source("a.c", "int x, *p; void f(void) { p = &x; }")
+        ws1.build()
+        ws1.close()
+
+        ws2 = Workspace(cache_dir=cache)
+        ws2.add_source("a.c", "int x, *p; void f(void) { p = &x; }")
+        ws2.build()
+        assert ws2.stats.compiled == 0
+        assert ws2.stats.reused == 1
+        ws2.close()
+
+
+class TestParallelBuild:
+    def test_parallel_equals_serial(self, tmp_path):
+        from repro.synth import generate
+        from repro.synth.generator import HEADER_NAME
+
+        program = generate("nethack", scale=0.05, seed=9)
+
+        def build(cache, jobs):
+            ws = Workspace(cache_dir=str(tmp_path / cache))
+            ws.add_header(HEADER_NAME, program.header)
+            for name, text in sorted(program.files.items()):
+                ws.add_source(name, text)
+            ws.build(jobs=jobs)
+            result = ws.analyze()
+            ws.close()
+            return result
+
+        serial = build("serial", jobs=1)
+        parallel = build("parallel", jobs=2)
+        for name in set(serial.pts) | set(parallel.pts):
+            assert serial.points_to(name) == parallel.points_to(name), name
+
+    def test_parallel_stats(self, tmp_path):
+        ws = Workspace(cache_dir=str(tmp_path / "p"))
+        for i in range(4):
+            ws.add_source(f"f{i}.c", f"int v{i}, *p{i};"
+                                     f"void fn{i}(void) {{ p{i} = &v{i}; }}")
+        ws.build(jobs=2)
+        assert ws.stats.compiled == 4
+        ws.build(jobs=2)
+        assert ws.stats.compiled == 0
+        assert ws.stats.reused == 4
+        ws.close()

@@ -1,0 +1,98 @@
+"""Tests for the table-regeneration harness itself."""
+
+import pytest
+
+from repro.driver import tables
+
+
+class TestPaperConstants:
+    def test_paper_table3_rows_complete(self):
+        assert set(tables.PAPER_TABLE3) == {
+            "nethack", "burlap", "vortex", "emacs", "povray", "gcc",
+            "gimp", "lucent",
+        }
+
+    def test_paper_table3_verbatim_spot_checks(self):
+        assert tables.PAPER_TABLE3["gimp"][:2] == (45091, 15_298_000)
+        assert tables.PAPER_TABLE3["lucent"][4:] == (4281, 101856, 349045)
+        assert tables.PAPER_TABLE3["emacs"][1] == 11_232_000
+
+    def test_paper_table4_consistent_with_table3(self):
+        for name, (fb, _fi) in tables.PAPER_TABLE4.items():
+            assert fb[0] == tables.PAPER_TABLE3[name][0], name
+            assert fb[1] == tables.PAPER_TABLE3[name][1], name
+
+
+class TestRowGenerators:
+    def test_table1(self):
+        headers, rows = tables.table1_rows()
+        assert headers == ["Operations", "Argument 1", "Argument 2"]
+        assert len(rows) == 6
+
+    def test_table3_single_profile(self):
+        headers, rows = tables.table3_rows(scale=0.05,
+                                           profiles=["nethack"])
+        assert len(rows) == 1
+        assert rows[0][0].startswith("nethack@")
+        assert headers[1] == "pointer"
+        assert int(rows[0][1]) > 0
+
+    def test_table4_single_profile(self):
+        headers, rows = tables.table4_rows(scale=0.05,
+                                           profiles=["nethack"])
+        [row] = rows
+        ratio = float(row[headers.index("rel ratio")])
+        assert ratio > 0
+
+    def test_solver_rows_cover_all_solvers(self):
+        from repro.solvers import SOLVERS
+
+        headers, rows = tables.solver_rows(scale=0.05,
+                                           profiles=["nethack"])
+        for solver in SOLVERS:
+            assert f"{solver}:utime" in headers
+
+    def test_demand_rows_modes(self):
+        headers, rows = tables.demand_rows(scale=0.05,
+                                           profiles=["nethack"])
+        modes = {row[1] for row in rows}
+        assert modes == {"demand", "full"}
+        by_mode = {row[1]: int(row[3]) for row in rows}
+        assert by_mode["demand"] <= by_mode["full"]
+
+    def test_render(self):
+        headers, rows = tables.table1_rows()
+        out = tables.render("T", headers, rows)
+        assert out.startswith("T\n")
+        assert "Strong" in out
+
+
+class TestBuildDatabase:
+    def test_pipeline_through_disk(self, tmp_path):
+        from repro.cla.reader import ObjectFileReader
+        from repro.synth import generate
+
+        program = generate("nethack", scale=0.03, seed=1)
+        path = tables.build_database(program, str(tmp_path))
+        with ObjectFileReader(path) as reader:
+            assert reader.linked
+            assert reader.assignment_count() > 0
+
+    def test_preprocessed_size_positive(self):
+        from repro.synth import generate
+
+        program = generate("nethack", scale=0.02, seed=1)
+        assert tables.preprocessed_size(program) > 1000
+
+
+class TestAblationRows:
+    def test_kernel_ablation(self):
+        headers, rows = tables.ablation_rows(size=120)
+        assert len(rows) == 4
+        baseline = rows[0]
+        assert baseline[:2] == ["on", "on"]
+        degraded = rows[-1]
+        assert degraded[:2] == ["off", "off"]
+        # Work factor column shows the blowup deterministically.
+        work_factor = int(degraded[5].rstrip("x"))
+        assert work_factor > 10

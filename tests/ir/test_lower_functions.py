@@ -1,0 +1,317 @@
+"""Tests for function lowering: standardized names, calls, function
+pointers, allocation sites (paper §4)."""
+
+from repro.cfront import parse_c
+from repro.ir import PrimitiveKind, lower_translation_unit
+from repro.ir.objects import ObjectKind
+
+
+def lower(src, filename="t.c", **kwargs):
+    return lower_translation_unit(parse_c(src, filename=filename), **kwargs)
+
+
+def plain(ir):
+    def short(name):
+        return name.rsplit("::", 1)[-1]
+
+    return [(a.kind, short(a.dst), short(a.src)) for a in ir.assignments]
+
+
+class TestStandardizedNames:
+    def test_definition_generates_param_copies(self):
+        # Paper: "int f(x, y) { ... return(z) } generates x = f1, y = f2,
+        # fret = z".
+        ir = lower("int f(int x, int y) { int z; return z; }")
+        triples = plain(ir)
+        assert (PrimitiveKind.COPY, "x", "f$arg1") in triples
+        assert (PrimitiveKind.COPY, "y", "f$arg2") in triples
+        assert (PrimitiveKind.COPY, "f$ret", "z") in triples
+
+    def test_call_populates_args_and_reads_ret(self):
+        # Paper: "w = f(e1, e2) generates f1 = e1, f2 = e2 and w = fret".
+        ir = lower("""
+        int f(int a, int b);
+        int *w; int *e1, *e2;
+        int *g(int *, int *);
+        void h(void) { w = g(e1, e2); }
+        """)
+        triples = plain(ir)
+        assert (PrimitiveKind.COPY, "g$arg1", "e1") in triples
+        assert (PrimitiveKind.COPY, "g$arg2", "e2") in triples
+        assert (PrimitiveKind.COPY, "w", "g$ret") in triples
+
+    def test_function_record_created(self):
+        ir = lower("int f(int a, int b) { return a; }")
+        record = ir.function_records["f"]
+        assert record.args == ["f$arg1", "f$arg2"]
+        assert record.ret == "f$ret"
+        assert not record.variadic
+
+    def test_variadic_record(self):
+        ir = lower("int f(int a, ...) { return a; }")
+        assert ir.function_records["f"].variadic
+
+    def test_static_function_name_qualified(self):
+        ir = lower("static int f(void) { return 0; }", filename="u.c")
+        assert "u.c::f" in ir.function_records
+        assert ir.objects["u.c::f"].kind == ObjectKind.FUNCTION
+
+    def test_return_flows_pointer(self):
+        ir = lower("int g2; int *f(void) { return &g2; }")
+        assert (PrimitiveKind.ADDR, "f$ret", "g2") in plain(ir)
+
+    def test_argument_objects_kinds(self):
+        ir = lower("int f(int a) { return a; }")
+        assert ir.objects["f$arg1"].kind == ObjectKind.ARGUMENT
+        assert ir.objects["f$ret"].kind == ObjectKind.RETURN
+
+    def test_call_before_declaration(self):
+        # Pre-C99 implicit declaration.
+        ir = lower("void g(void) { later(1); } int later(int x) { return x; }")
+        assert "later" in ir.function_records
+
+
+class TestFunctionPointers:
+    SRC = """
+    int *getp(int n) { return 0; }
+    int *(*fp)(int);
+    int *r;
+    void use(void) {
+        fp = getp;
+        r = fp(3);
+        r = (*fp)(4);
+    }
+    """
+
+    def test_taking_function_address(self):
+        ir = lower(self.SRC)
+        assert (PrimitiveKind.ADDR, "fp", "getp") in plain(ir)
+
+    def test_explicit_ampersand(self):
+        ir = lower("void g(void) {} void (*p)(void); "
+                   "void h(void) { p = &g; }")
+        assert (PrimitiveKind.ADDR, "p", "g") in plain(ir)
+
+    def test_indirect_call_standardized_names(self):
+        ir = lower(self.SRC)
+        triples = plain(ir)
+        assert (PrimitiveKind.COPY, "r", "<fp>$ret") in triples
+
+    def test_deref_call_same_as_direct_call(self):
+        # (*fp)(4) and fp(3) route through the same <fp>$... names.
+        ir = lower(self.SRC)
+        assert list(ir.indirect_calls) == ["fp"]
+
+    def test_indirect_record(self):
+        ir = lower(self.SRC)
+        record = ir.indirect_calls["fp"]
+        assert record.args == ["<fp>$arg1"]
+        assert record.ret == "<fp>$ret"
+
+    def test_pointer_marked_funcptr(self):
+        ir = lower(self.SRC)
+        assert ir.objects["fp"].is_funcptr
+
+    def test_record_keeps_max_arity(self):
+        ir = lower("""
+        int (*fp)();
+        void f(void) { fp(1); fp(1, 2, 3); fp(); }
+        """)
+        assert len(ir.indirect_calls["fp"].args) == 3
+
+    def test_funcptr_in_struct_field(self):
+        ir = lower("""
+        struct Ops { int (*run)(int); } ops;
+        void f(void) { ops.run(1); }
+        """)
+        assert "Ops.run" in ir.indirect_calls
+        assert ir.objects["Ops.run"].is_funcptr
+
+    def test_funcptr_array(self):
+        ir = lower("""
+        int (*table[3])(void);
+        void f(void) { table[1](); }
+        """)
+        assert "table" in ir.indirect_calls
+
+    def test_pointer_arg_flows_to_indirect_args(self):
+        ir = lower("""
+        void (*cb)(int *);
+        int *data;
+        void f(void) { cb(data); }
+        """)
+        assert (PrimitiveKind.COPY, "<cb>$arg1", "data") in plain(ir)
+
+
+class TestAllocation:
+    def test_malloc_fresh_location(self):
+        ir = lower("#include <stdlib.h>\nchar *p;"
+                   "void f(void) { p = malloc(8); }", filename="m.c")
+        addrs = [a for a in ir.assignments if a.kind is PrimitiveKind.ADDR]
+        assert len(addrs) == 1
+        assert addrs[0].src.startswith("malloc@m.c:")
+        assert ir.objects[addrs[0].src].kind == ObjectKind.HEAP
+
+    def test_each_site_is_fresh(self):
+        ir = lower("""
+        #include <stdlib.h>
+        char *p, *q;
+        void f(void) {
+            p = malloc(8);
+            q = malloc(8);
+        }
+        """, filename="m.c")
+        addrs = [a.src for a in ir.assignments
+                 if a.kind is PrimitiveKind.ADDR]
+        assert len(set(addrs)) == 2
+
+    def test_calloc_and_strdup(self):
+        ir = lower("""
+        #include <stdlib.h>
+        #include <string.h>
+        char *p, *q;
+        void f(void) { p = calloc(1, 8); q = strdup(p); }
+        """, filename="m.c")
+        sites = {a.src.split("@")[0] for a in ir.assignments
+                 if a.kind is PrimitiveKind.ADDR}
+        assert sites == {"calloc", "strdup"}
+
+    def test_realloc_flows_old_pointer(self):
+        ir = lower("""
+        #include <stdlib.h>
+        char *p, *q;
+        void f(void) { q = realloc(p, 16); }
+        """, filename="m.c")
+        triples = plain(ir)
+        assert (PrimitiveKind.COPY, "q", "p") in triples
+        assert any(k is PrimitiveKind.ADDR and d == "q"
+                   for k, d, s in triples)
+
+    def test_malloc_without_header_still_special(self):
+        # Implicitly declared malloc is still an allocator.
+        ir = lower("char *p; void f(void) { p = malloc(8); }",
+                   filename="m.c")
+        assert any(a.kind is PrimitiveKind.ADDR and
+                   a.src.startswith("malloc@") for a in ir.assignments)
+
+
+class TestStrings:
+    def test_strings_ignored_by_default(self):
+        ir = lower('char *s; void f(void) { s = "lit"; }')
+        assert ir.assignments == []
+
+    def test_track_strings_option(self):
+        ir = lower('char *s; void f(void) { s = "lit"; }',
+                   filename="s.c", track_strings=True)
+        [a] = ir.assignments
+        assert a.kind is PrimitiveKind.ADDR
+        assert a.src.startswith("str@s.c:")
+        assert ir.objects[a.src].kind == ObjectKind.STRING
+
+
+class TestVariablesAccounting:
+    def test_variables_excludes_temps(self):
+        ir = lower("int ***p, *q; void f(void) { q = **p; }")
+        names = {o.name for o in ir.variables()}
+        assert not any("$t" in n for n in names)
+        all_names = set(ir.objects)
+        assert any("$t" in n for n in all_names)
+
+
+class TestReturnsFirstArgument:
+    def test_strcpy_returns_destination(self):
+        ir = lower("""
+        #include <string.h>
+        char buf[64];
+        char *p, *s;
+        void f(void) { p = strcpy(buf, s); }
+        """, filename="s.c")
+        assert (PrimitiveKind.ADDR, "p", "buf") in plain(ir)
+
+    def test_memcpy_chain(self):
+        ir = lower("""
+        #include <string.h>
+        char a[8], b[8];
+        char *out;
+        void f(void) { out = memcpy(a, b, 8); }
+        """, filename="s.c")
+        assert (PrimitiveKind.ADDR, "out", "a") in plain(ir)
+
+    def test_other_args_still_evaluated(self):
+        # Side effects in later arguments must not be dropped.
+        ir = lower("""
+        #include <string.h>
+        char buf[8];
+        char *p, *q, *r;
+        void f(void) { p = strcpy(buf, (q = r)); }
+        """, filename="s.c")
+        triples = plain(ir)
+        assert (PrimitiveKind.COPY, "q", "r") in triples
+        assert (PrimitiveKind.ADDR, "p", "buf") in triples
+
+    def test_strcpy_without_args_is_plain_call(self):
+        # Degenerate code: no first argument to forward.
+        ir = lower("char *p; void f(void) { p = strcpy(); }",
+                   filename="s.c")
+        assert any("strcpy$ret" in a.src for a in ir.assignments)
+
+
+class TestHeapModels:
+    def test_per_site_default(self):
+        ir = lower("""
+        #include <stdlib.h>
+        char *p, *q;
+        void f(void) {
+            p = malloc(4);
+            q = malloc(4);
+        }
+        """, filename="h.c")
+        sites = {a.src for a in ir.assignments
+                 if a.kind is PrimitiveKind.ADDR}
+        assert len(sites) == 2
+
+    def test_per_function(self):
+        ir = lower("""
+        #include <stdlib.h>
+        char *p, *q, *r;
+        void f(void) { p = malloc(4); q = malloc(4); }
+        void g(void) { r = malloc(4); }
+        """, filename="h.c", heap_model="function")
+        sites = {a.src for a in ir.assignments
+                 if a.kind is PrimitiveKind.ADDR}
+        assert sites == {"heap@f", "heap@g"}
+
+    def test_single(self):
+        ir = lower("""
+        #include <stdlib.h>
+        char *p, *q;
+        void f(void) { p = malloc(4); q = calloc(1, 4); }
+        """, filename="h.c", heap_model="single")
+        sites = {a.src for a in ir.assignments
+                 if a.kind is PrimitiveKind.ADDR}
+        assert sites == {"heap$all"}
+
+    def test_precision_ordering(self):
+        from repro.cla.store import MemoryStore
+        from repro.solvers import PreTransitiveSolver
+
+        src = """
+        #include <stdlib.h>
+        char *a, *b;
+        void f(void) {
+            a = malloc(1);
+            b = malloc(1);
+        }
+        """
+        per_site = PreTransitiveSolver(MemoryStore(
+            lower(src, filename="h.c"))).solve()
+        single = PreTransitiveSolver(MemoryStore(
+            lower(src, filename="h.c", heap_model="single"))).solve()
+        assert not per_site.may_alias("a", "b")
+        assert single.may_alias("a", "b")
+
+    def test_unknown_model_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="unknown heap model"):
+            lower("int x;", heap_model="quantum")

@@ -1,0 +1,74 @@
+"""Tests for canonical object naming and ProgramObject semantics."""
+
+from repro.cfront.source import Location
+from repro.ir import objects as O
+from repro.ir.objects import ObjectKind, ProgramObject
+
+
+class TestNaming:
+    def test_global_variable(self):
+        assert O.variable_name("x", "a.c", None, False) == "x"
+
+    def test_static_variable(self):
+        assert O.variable_name("x", "a.c", None, True) == "a.c::x"
+
+    def test_local_variable(self):
+        assert O.variable_name("x", "a.c", "f", False) == "a.c::f::x"
+
+    def test_field(self):
+        assert O.field_name("S", "x") == "S.x"
+
+    def test_argument(self):
+        assert O.argument_name("f", 1) == "f$arg1"
+        assert O.argument_name("a.c::g", 2) == "a.c::g$arg2"
+
+    def test_return(self):
+        assert O.return_name("f") == "f$ret"
+
+    def test_funcptr_names(self):
+        assert O.funcptr_argument_name("fp", 1) == "<fp>$arg1"
+        assert O.funcptr_return_name("fp") == "<fp>$ret"
+        assert O.is_funcptr_synthetic("<fp>$arg1")
+        assert not O.is_funcptr_synthetic("fp$arg1")
+
+    def test_heap(self):
+        loc = Location("m.c", 12)
+        assert O.heap_name("malloc", loc) == "malloc@m.c:12"
+
+    def test_string(self):
+        assert O.string_name(Location("s.c", 7)) == "str@s.c:7"
+
+    def test_temp(self):
+        assert O.temp_name("a.c", "f", 3) == "a.c::f::$t3"
+        assert O.temp_name("a.c", None, 1) == "a.c::$t1"
+
+
+class TestProgramObject:
+    def test_identity_is_name(self):
+        a = ProgramObject(name="x", kind=ObjectKind.VARIABLE)
+        b = ProgramObject(name="x", kind=ObjectKind.FIELD)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality(self):
+        a = ProgramObject(name="x", kind=ObjectKind.VARIABLE)
+        b = ProgramObject(name="y", kind=ObjectKind.VARIABLE)
+        assert a != b
+
+    def test_display_matches_figure1_style(self):
+        obj = ProgramObject(
+            name="target", kind=ObjectKind.VARIABLE, type_str="short",
+            location=Location("eg1.c", 1),
+        )
+        assert obj.display() == "target/short <eg1.c:1>"
+
+    def test_display_without_type(self):
+        obj = ProgramObject(name="t", kind=ObjectKind.TEMP)
+        assert obj.display() == "t <unknown>"
+
+    def test_kind_fits_one_byte(self):
+        assert all(0 <= k <= 255 for k in ObjectKind)
+
+    def test_set_membership(self):
+        objs = {ProgramObject(name="x", kind=ObjectKind.VARIABLE)}
+        assert ProgramObject(name="x", kind=ObjectKind.VARIABLE) in objs

@@ -1,0 +1,90 @@
+"""Tests for the Table 1 strength classification."""
+
+from repro.ir.strength import (
+    Strength,
+    binary_strengths,
+    combine,
+    table1_rows,
+    unary_strength,
+)
+
+
+class TestOrdering:
+    def test_total_order(self):
+        assert Strength.NONE < Strength.WEAK < Strength.STRONG < Strength.DIRECT
+
+    def test_min_is_weakest(self):
+        assert min(Strength.STRONG, Strength.WEAK) is Strength.WEAK
+
+    def test_symbols(self):
+        assert Strength.DIRECT.symbol == "="
+        assert Strength.STRONG.symbol == "!"
+        assert Strength.WEAK.symbol == "~"
+
+
+class TestTable1Rows:
+    """Each row of the paper's Table 1, verbatim."""
+
+    def test_additive_and_bitwise_strong_both(self):
+        for op in ("+", "-", "|", "&", "^"):
+            assert binary_strengths(op) == (Strength.STRONG, Strength.STRONG)
+
+    def test_multiplication_weak_both(self):
+        assert binary_strengths("*") == (Strength.WEAK, Strength.WEAK)
+
+    def test_mod_and_shifts_weak_none(self):
+        for op in ("%", ">>", "<<"):
+            assert binary_strengths(op) == (Strength.WEAK, Strength.NONE)
+
+    def test_unary_plus_minus_strong(self):
+        assert unary_strength("+") is Strength.STRONG
+        assert unary_strength("-") is Strength.STRONG
+
+    def test_logical_none_both(self):
+        for op in ("&&", "||"):
+            assert binary_strengths(op) == (Strength.NONE, Strength.NONE)
+
+    def test_not_none(self):
+        assert unary_strength("!") is Strength.NONE
+
+    def test_table1_render_matches(self):
+        rows = table1_rows()
+        assert ("+, -, |, &, ^", "Strong", "Strong") in rows
+        assert ("*", "Weak", "Weak") in rows
+        assert ("%, >>, <<", "Weak", "None") in rows
+        assert ("unary: +, -", "Strong", "n/a") in rows
+        assert ("&&, ||", "None", "None") in rows
+        assert ("!", "None", "n/a") in rows
+        assert len(rows) == 6
+
+
+class TestExtensions:
+    """Operations the paper's table omits, classified by the same metric."""
+
+    def test_division_like_mod(self):
+        assert binary_strengths("/") == (Strength.WEAK, Strength.NONE)
+
+    def test_comparisons_none(self):
+        for op in ("==", "!=", "<", ">", "<=", ">="):
+            assert binary_strengths(op) == (Strength.NONE, Strength.NONE)
+
+    def test_complement_strong(self):
+        assert unary_strength("~") is Strength.STRONG
+
+    def test_sizeof_none(self):
+        assert unary_strength("sizeof") is Strength.NONE
+
+    def test_unknown_operator_conservative(self):
+        assert binary_strengths("<=>") == (Strength.STRONG, Strength.STRONG)
+
+
+class TestCombine:
+    def test_nested_weakens(self):
+        # x = (y + 1) * 2: y flows through + (strong) then * (weak).
+        assert combine(Strength.WEAK, Strength.STRONG) is Strength.WEAK
+
+    def test_direct_preserves(self):
+        assert combine(Strength.DIRECT, Strength.STRONG) is Strength.STRONG
+
+    def test_none_kills(self):
+        assert combine(Strength.NONE, Strength.DIRECT) is Strength.NONE

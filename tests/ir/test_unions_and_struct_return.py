@@ -1,0 +1,110 @@
+"""Union storage semantics and struct-by-value returns."""
+
+from repro.cfront import parse_c
+from repro.cla.store import MemoryStore
+from repro.ir import lower_translation_unit
+from repro.solvers import PreTransitiveSolver
+
+
+def solve(src, filename="t.c", **kwargs):
+    ir = lower_translation_unit(parse_c(src, filename=filename), **kwargs)
+    return PreTransitiveSolver(MemoryStore(ir)).solve()
+
+
+class TestUnionStorage:
+    def test_members_share_storage(self):
+        # Writing one member and reading another is the same cell.
+        r = solve("""
+        union U { int *a; char *b; } u;
+        int x;
+        char *q;
+        void f(void) { u.a = (char *)&x; q = u.b; }
+        """)
+        assert r.points_to("q") == {"x"}
+
+    def test_same_member_roundtrip(self):
+        r = solve("""
+        union U { int *a; long l; } u;
+        int x;
+        int *q;
+        void f(void) { u.a = &x; q = u.a; }
+        """)
+        assert r.points_to("q") == {"x"}
+
+    def test_different_union_types_distinct(self):
+        r = solve("""
+        union A { int *p; } ua;
+        union B { int *p; } ub;
+        int x, y;
+        int *qa, *qb;
+        void f(void) {
+            ua.p = &x;
+            ub.p = &y;
+            qa = ua.p;
+            qb = ub.p;
+        }
+        """)
+        assert r.points_to("qa") == {"x"}
+        assert r.points_to("qb") == {"y"}
+
+    def test_union_through_pointer(self):
+        r = solve("""
+        union U { int *a; char *b; } u, *pu;
+        int x;
+        char *q;
+        void f(void) { pu = &u; pu->a = (char *)&x; q = pu->b; }
+        """)
+        assert r.points_to("q") == {"x"}
+
+    def test_field_independent_unions_unchanged(self):
+        # FI already merges via the base object.
+        r = solve("""
+        union U { int *a; char *b; } u;
+        int x;
+        char *q;
+        void f(void) { u.a = (char *)&x; q = u.b; }
+        """, field_based=False)
+        assert r.points_to("q") == {"x"}
+
+    def test_union_inside_struct(self):
+        r = solve("""
+        struct Box { union Inner { int *ip; char *cp; } val; } box;
+        int x;
+        char *q;
+        void f(void) { box.val.ip = (char *)&x; q = box.val.cp; }
+        """)
+        assert r.points_to("q") == {"x"}
+
+
+class TestStructReturn:
+    def test_struct_by_value_return_field_based(self):
+        # Field-based: the fields are shared per type, so the flow is
+        # already joined; the returned aggregate must not lose it.
+        r = solve("""
+        struct S { int *p; };
+        int x;
+        struct S make(void) { struct S s; s.p = &x; return s; }
+        int *q;
+        void f(void) { struct S got; got = make(); q = got.p; }
+        """)
+        assert r.points_to("q") == {"x"}
+
+    def test_struct_by_value_return_offset_based(self):
+        r = solve("""
+        struct S { int *p; };
+        int x;
+        struct S make(void) { struct S s; s.p = &x; return s; }
+        int *q;
+        void f(void) { struct S got; got = make(); q = got.p; }
+        """, struct_model="offset_based")
+        assert "x" in r.points_to("q")
+
+    def test_struct_parameter_by_value(self):
+        r = solve("""
+        struct S { int *p; };
+        int *sink;
+        void take(struct S s) { sink = s.p; }
+        int x;
+        void f(void) { struct S v; v.p = &x; take(v); }
+        """)
+        assert r.points_to("sink") == {"x"}

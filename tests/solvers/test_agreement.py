@@ -1,0 +1,153 @@
+"""Property-based cross-validation of the four solvers.
+
+Random constraint systems are generated directly at the primitive-
+assignment level (bypassing the C frontend, so thousands of cases run in
+seconds).  Invariants:
+
+* the three subset-based solvers (pre-transitive, transitive, bit-vector)
+  compute *identical* points-to sets — they implement the same analysis;
+* the pre-transitive solver agrees with itself under every combination of
+  its optimization toggles and loading modes;
+* Steensgaard's unification result is a superset of Andersen's on every
+  object (coarser, never unsound relative to it).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cla.store import MemoryStore
+from repro.ir.lower import UnitIR
+from repro.ir.objects import ObjectKind, ProgramObject
+from repro.ir.primitives import PrimitiveAssignment, PrimitiveKind
+from repro.solvers import (
+    BitVectorSolver,
+    PreTransitiveSolver,
+    SteensgaardSolver,
+    TransitiveSolver,
+)
+
+N_VARS = 8
+VAR_NAMES = [f"v{i}" for i in range(N_VARS)]
+
+var = st.sampled_from(VAR_NAMES)
+
+assignment = st.builds(
+    PrimitiveAssignment,
+    kind=st.sampled_from(list(PrimitiveKind)),
+    dst=var,
+    src=var,
+)
+
+constraint_systems = st.lists(assignment, min_size=1, max_size=25)
+
+
+def make_store(assignments) -> MemoryStore:
+    unit = UnitIR(filename="synth.c")
+    for name in VAR_NAMES:
+        unit.objects[name] = ProgramObject(
+            name=name, kind=ObjectKind.VARIABLE, may_point=True,
+        )
+    unit.assignments = list(assignments)
+    return MemoryStore(unit)
+
+
+def pts_map(result):
+    return {name: result.points_to(name) for name in VAR_NAMES}
+
+
+@settings(max_examples=200, deadline=None)
+@given(constraint_systems)
+def test_subset_solvers_agree(assignments):
+    expected = pts_map(PreTransitiveSolver(make_store(assignments)).solve())
+    for solver_cls in (TransitiveSolver, BitVectorSolver):
+        actual = pts_map(solver_cls(make_store(assignments)).solve())
+        assert actual == expected, solver_cls.name
+
+
+@settings(max_examples=100, deadline=None)
+@given(constraint_systems)
+def test_pretransitive_toggles_agree(assignments):
+    expected = pts_map(PreTransitiveSolver(make_store(assignments)).solve())
+    for cache in (True, False):
+        for cycles in (True, False):
+            result = PreTransitiveSolver(
+                make_store(assignments),
+                enable_cache=cache,
+                enable_cycle_elimination=cycles,
+            ).solve()
+            assert pts_map(result) == expected, (cache, cycles)
+
+
+@settings(max_examples=100, deadline=None)
+@given(constraint_systems)
+def test_demand_and_full_loading_agree(assignments):
+    demand = pts_map(
+        PreTransitiveSolver(make_store(assignments), demand_load=True).solve()
+    )
+    full = pts_map(
+        PreTransitiveSolver(make_store(assignments), demand_load=False).solve()
+    )
+    assert demand == full
+
+
+@settings(max_examples=200, deadline=None)
+@given(constraint_systems)
+def test_steensgaard_is_superset(assignments):
+    andersen = pts_map(PreTransitiveSolver(make_store(assignments)).solve())
+    steens = pts_map(SteensgaardSolver(make_store(assignments)).solve())
+    for name in VAR_NAMES:
+        assert andersen[name] <= steens[name], name
+
+
+@settings(max_examples=100, deadline=None)
+@given(constraint_systems)
+def test_andersen_base_facts_always_present(assignments):
+    """x = &y must always put y in pts(x) — the deduction system's axiom."""
+    result = PreTransitiveSolver(make_store(assignments)).solve()
+    for a in assignments:
+        if a.kind is PrimitiveKind.ADDR:
+            assert a.src in result.points_to(a.dst)
+
+
+@settings(max_examples=100, deadline=None)
+@given(constraint_systems)
+def test_copy_subset_invariant(assignments):
+    """x = y implies pts(x) >= pts(y) at fixpoint (the subset rule)."""
+    result = PreTransitiveSolver(make_store(assignments)).solve()
+    for a in assignments:
+        if a.kind is PrimitiveKind.COPY:
+            assert result.points_to(a.src) <= result.points_to(a.dst)
+
+
+@settings(max_examples=100, deadline=None)
+@given(constraint_systems)
+def test_store_subset_invariant(assignments):
+    """*p = y implies pts(z) >= pts(y) for every z in pts(p)."""
+    result = PreTransitiveSolver(make_store(assignments)).solve()
+    for a in assignments:
+        if a.kind is PrimitiveKind.STORE:
+            for z in result.points_to(a.dst):
+                assert result.points_to(a.src) <= result.points_to(z), (a, z)
+
+
+@settings(max_examples=100, deadline=None)
+@given(constraint_systems)
+def test_load_subset_invariant(assignments):
+    """x = *p implies pts(x) >= pts(z) for every z in pts(p)."""
+    result = PreTransitiveSolver(make_store(assignments)).solve()
+    for a in assignments:
+        if a.kind is PrimitiveKind.LOAD:
+            for z in result.points_to(a.src):
+                assert result.points_to(z) <= result.points_to(a.dst), (a, z)
+
+
+@settings(max_examples=50, deadline=None)
+@given(constraint_systems)
+def test_minimality_no_spurious_base_targets(assignments):
+    """Every element of every points-to set traces back to some x = &y."""
+    result = PreTransitiveSolver(make_store(assignments)).solve()
+    addr_targets = {
+        a.src for a in assignments if a.kind is PrimitiveKind.ADDR
+    }
+    for name in VAR_NAMES:
+        assert result.points_to(name) <= addr_targets
