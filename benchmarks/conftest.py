@@ -7,10 +7,14 @@ this cache; the benches time only the analysis, like the paper's Table 3
 
 from __future__ import annotations
 
+import json
+import os
+
 import pytest
 
 from repro.cla.store import MemoryStore
 from repro.driver.tables import DEFAULT_SCALES
+from repro.engine.obs import REGISTRY
 from repro.synth import generate
 
 _CACHE: dict[tuple, object] = {}
@@ -37,6 +41,40 @@ def fresh_store(name: str, scale: float | None = None, seed: int = 42,
     """A fresh MemoryStore over cached units (stores are stateful)."""
     _program, units = compiled_units(name, scale, seed, field_based)
     return MemoryStore(units)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Emit a machine-readable BENCH_<suite>.json per bench module.
+
+    The files carry the pytest-benchmark stats plus the process counter
+    snapshot, for CI artifact collection (see docs/OBSERVABILITY.md).
+    Output directory: $REPRO_BENCH_JSON_DIR, default the current
+    directory; nothing is written when no benchmarks ran.
+    """
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None or not bench_session.benchmarks:
+        return
+    by_suite: dict[str, dict] = {}
+    for bench in bench_session.benchmarks:
+        module_path = bench.fullname.split("::")[0]
+        suite = os.path.splitext(os.path.basename(module_path))[0]
+        entry = bench.as_dict(include_data=False)
+        by_suite.setdefault(suite, {})[bench.name] = {
+            "stats": {k: entry["stats"][k]
+                      for k in ("min", "max", "mean", "stddev", "median",
+                                "rounds", "iterations")},
+            "extra_info": entry["extra_info"],
+        }
+    out_dir = os.environ.get("REPRO_BENCH_JSON_DIR", ".")
+    os.makedirs(out_dir, exist_ok=True)
+    counters = REGISTRY.snapshot()
+    for suite, benchmarks in sorted(by_suite.items()):
+        doc = {"schema": 1, "suite": suite, "benchmarks": benchmarks,
+               "counters": counters}
+        path = os.path.join(out_dir, f"BENCH_{suite}.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
 
 
 @pytest.fixture(scope="session")

@@ -25,8 +25,8 @@ Quickstart::
     print(project.points_to().points_to("p"))   # frozenset({'x'})
 """
 
-__version__ = "1.0.0"
-
 from .driver.api import CompileOptions, Project, analyze_database
+
+__version__ = "1.0.0"
 
 __all__ = ["CompileOptions", "Project", "analyze_database", "__version__"]

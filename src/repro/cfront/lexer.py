@@ -180,7 +180,6 @@ class Lexer:
         spaced = False
         make_location = self._location
         append = result.append
-        empty = frozenset()
         while pos < n:
             m = scan(text, pos)
             if m is None:

@@ -31,7 +31,6 @@ from .ctypes import (
     PointerType,
     StructType,
     UnionType,
-    UnknownType,
     VoidType,
     fresh_anon_tag,
     with_qualifiers,

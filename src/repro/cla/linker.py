@@ -12,10 +12,8 @@ from __future__ import annotations
 from typing import Iterable
 
 from ..ir.lower import UnitIR
-from ..ir.objects import ProgramObject
-from .objfile import FLAG_FIELD_BASED, FormatError
 from .reader import ObjectFileReader
-from .store import Block, MemoryStore
+from .store import MemoryStore
 from .writer import ObjectFileWriter
 
 

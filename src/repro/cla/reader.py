@@ -338,15 +338,15 @@ class DatabaseStore:
         statics = self.reader.static_assignments()
         if not self._statics_loaded:
             self._statics_loaded = True
-            self.stats.loaded += len(statics)
-            self.stats.in_core += len(statics)
+            self.stats.count_load(len(statics), blocks=0)
         return statics
 
     def load_block(self, name: str) -> Block | None:
         block = self.reader.load_block(name)
         if block is not None:
-            self.stats.loaded += len(block.assignments)
-            self.stats.in_core += len(block.assignments)
+            # Re-reads count again: they are real I/O in the
+            # discard-and-reload strategy.
+            self.stats.count_load(len(block.assignments))
         return block
 
     def object_names(self):

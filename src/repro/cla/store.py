@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Protocol
 
+from ..engine.obs import REGISTRY
 from ..ir.lower import UnitIR
 from ..ir.objects import ObjectKind, ProgramObject
 from ..ir.primitives import (
@@ -61,6 +62,12 @@ class Block:
     indirect_record: IndirectCallRecord | None = None
 
 
+#: Process-wide load accounting (module-level handles stay live across
+#: registry resets; see ``MetricsRegistry.reset``).
+_ASSIGNMENTS_LOADED = REGISTRY.counter("cla.assignments_loaded")
+_BLOCKS_LOADED = REGISTRY.counter("cla.blocks_loaded")
+
+
 @dataclass(slots=True)
 class LoadStats:
     """Assignment accounting for Table 3's last three columns."""
@@ -68,9 +75,18 @@ class LoadStats:
     in_file: int = 0  # total primitive assignments in the database
     loaded: int = 0  # assignments materialised during the analysis
     in_core: int = 0  # assignments currently retained in memory
+    blocks_loaded: int = 0  # dynamic blocks materialised (loads, not parses)
 
     def snapshot(self) -> tuple[int, int, int]:
         return (self.in_core, self.loaded, self.in_file)
+
+    def count_load(self, assignments: int, blocks: int = 1) -> None:
+        """Record one load event, locally and in the process registry."""
+        self.loaded += assignments
+        self.in_core += assignments
+        self.blocks_loaded += blocks
+        _ASSIGNMENTS_LOADED.add(assignments)
+        _BLOCKS_LOADED.add(blocks)
 
 
 class ConstraintStore(Protocol):
@@ -196,8 +212,7 @@ class MemoryStore:
     def static_assignments(self) -> list[PrimitiveAssignment]:
         if not self._statics_loaded:
             self._statics_loaded = True
-            self.stats.loaded += len(self._statics)
-            self.stats.in_core += len(self._statics)
+            self.stats.count_load(len(self._statics), blocks=0)
         return self._statics
 
     def load_block(self, name: str) -> Block | None:
@@ -206,8 +221,7 @@ class MemoryStore:
             return None
         if name not in self._loaded_blocks:
             self._loaded_blocks.add(name)
-            self.stats.loaded += len(block.assignments)
-            self.stats.in_core += len(block.assignments)
+            self.stats.count_load(len(block.assignments))
         return block
 
     def object_names(self) -> Iterable[str]:

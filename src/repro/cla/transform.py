@@ -30,7 +30,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Protocol
 
-from ..cfront.source import Location
 from ..ir.lower import UnitIR
 from ..ir.objects import ObjectKind, ProgramObject
 from ..ir.primitives import (

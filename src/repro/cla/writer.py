@@ -14,8 +14,6 @@ from ..ir.lower import UnitIR
 from ..ir.objects import ProgramObject
 from ..ir.primitives import (
     CallSiteRecord,
-    FunctionRecord,
-    IndirectCallRecord,
     PrimitiveAssignment,
 )
 from . import objfile as F

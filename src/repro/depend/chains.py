@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from ..cla.store import ConstraintStore
 from ..ir.strength import Strength
-from .analysis import Dependent, DependenceResult
+from .analysis import DependenceResult
 
 
 def _object_label(store: ConstraintStore, name: str) -> str:

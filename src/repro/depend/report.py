@@ -15,7 +15,6 @@ import io
 import json
 
 from ..cla.store import ConstraintStore
-from ..ir.strength import Strength
 from .analysis import DependenceResult
 from .chains import _object_label, _strength_symbol
 

@@ -17,220 +17,72 @@ or, going through real object files on disk::
     api.compile_to_object("b.c", "b.o")
     api.link_objects(["a.o", "b.o"], "prog.cla")
     result = api.analyze_database("prog.cla")
+
+Everything here is a thin wrapper over :mod:`repro.engine.pipeline`; pass
+a :class:`~repro.engine.obs.Tracer` to :class:`Project` (or build your own
+:class:`~repro.engine.pipeline.Pipeline`) to see the per-stage spans.
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
 
-from ..cfront import IncludeResolver, parse_c
-from ..cla.linker import link_object_files
-from ..cla.reader import DatabaseStore
-from ..cla.store import ConstraintStore, MemoryStore
-from ..cla.writer import ObjectFileWriter, write_unit
-from ..depend.analysis import DependenceAnalysis, DependenceResult
-from ..ir.lower import UnitIR, lower_translation_unit
-from ..solvers import SOLVERS
+from ..cla.store import ConstraintStore
+from ..engine.pipeline import (
+    AnalysisSession,
+    CompileOptions,
+    Pipeline,
+    compile_file,
+    compile_source,
+)
 from ..solvers.base import PointsToResult
 
-
-@dataclass
-class CompileOptions:
-    """Options shared by every compile-phase entry point."""
-
-    field_based: bool = True
-    #: "field_based" | "field_independent" | "offset_based"; overrides
-    #: ``field_based`` when set.
-    struct_model: str | None = None
-    #: "site" (fresh location per allocation call, §6 setup (a)) |
-    #: "function" (one heap object per allocating function) | "single".
-    heap_model: str = "site"
-    track_strings: bool = False
-    #: Recover from unparseable declarations instead of failing the unit.
-    tolerant: bool = False
-    include_dirs: list[str] = field(default_factory=list)
-    virtual_files: dict[str, str] = field(default_factory=dict)
-    predefined: dict[str, str] = field(default_factory=dict)
-
-    def resolver(self) -> IncludeResolver:
-        """One shared resolver per options object.
-
-        Sharing matters: the resolver carries the include token cache, so
-        a multi-file project tokenizes each header once instead of once
-        per including unit.
-        """
-        cached = getattr(self, "_resolver", None)
-        if cached is None:
-            cached = IncludeResolver(
-                include_dirs=self.include_dirs,
-                virtual_files=self.virtual_files,
-            )
-            object.__setattr__(self, "_resolver", cached)
-        else:
-            # Late-added sources/headers must stay visible.
-            cached.include_dirs = self.include_dirs
-            cached.virtual_files = self.virtual_files
-        return cached
-
-    def __getstate__(self):
-        # The memoized resolver holds token caches that are pointless to
-        # ship to parallel-build workers; drop it from pickles.
-        state = dict(self.__dict__)
-        state.pop("_resolver", None)
-        return state
-
-
-def compile_source(
-    text: str,
-    filename: str = "<string>",
-    options: CompileOptions | None = None,
-) -> UnitIR:
-    """Compile one translation unit from source text to IR."""
-    options = options or CompileOptions()
-    unit = parse_c(
-        text,
-        filename=filename,
-        resolver=options.resolver(),
-        predefined=options.predefined,
-        tolerant=options.tolerant,
-    )
-    return lower_translation_unit(
-        unit,
-        field_based=options.field_based,
-        track_strings=options.track_strings,
-        source_text=text,
-        struct_model=options.struct_model,
-        heap_model=options.heap_model,
-    )
-
-
-def compile_file(path: str, options: CompileOptions | None = None) -> UnitIR:
-    """Compile one ``.c`` file from disk to IR."""
-    with open(path, "r", errors="replace") as f:
-        text = f.read()
-    return compile_source(text, filename=path, options=options)
+__all__ = [
+    "CompileOptions",
+    "Project",
+    "analyze_database",
+    "analyze_store",
+    "build_project_from_dir",
+    "compile_file",
+    "compile_source",
+    "compile_to_object",
+    "link_objects",
+]
 
 
 def compile_to_object(
     path: str, out_path: str, options: CompileOptions | None = None
 ) -> None:
     """The compile phase proper: source file -> CLA object file."""
-    options = options or CompileOptions()
-    unit = compile_file(path, options)
-    write_unit(unit, out_path, field_based=options.field_based)
+    Pipeline(options).compile_to_object(path, out_path)
 
 
 def link_objects(object_paths: list[str], out_path: str) -> None:
     """The link phase: object files -> executable database."""
-    link_object_files(object_paths, out_path)
+    Pipeline().link_objects(list(object_paths), out_path)
 
 
 def analyze_store(
     store: ConstraintStore, solver: str = "pretransitive", **solver_kwargs
 ) -> PointsToResult:
     """The analyze phase on any store."""
-    try:
-        cls = SOLVERS[solver]
-    except KeyError:
-        known = ", ".join(sorted(SOLVERS))
-        raise ValueError(f"unknown solver {solver!r} (known: {known})") from None
-    return cls(store, **solver_kwargs).solve()
+    return Pipeline().analyze(store, solver, **solver_kwargs)
 
 
 def analyze_database(
     path: str, solver: str = "pretransitive", **solver_kwargs
 ) -> PointsToResult:
     """Open a linked database and run a points-to analysis on it."""
-    store = DatabaseStore.open(path)
-    try:
-        return analyze_store(store, solver, **solver_kwargs)
-    finally:
-        store.close()
+    return Pipeline().analyze_database(path, solver, **solver_kwargs)
 
 
-class Project:
+class Project(AnalysisSession):
     """An in-memory multi-file project: the whole pipeline without disk.
 
-    Sources added with :meth:`add_source` can ``#include`` each other and
-    any header placed in :attr:`CompileOptions.virtual_files`.
+    The historical name for :class:`~repro.engine.pipeline.AnalysisSession`
+    — the implementation moved into the engine when the pipeline grew its
+    observability spine; the public surface here is unchanged.
     """
-
-    def __init__(self, options: CompileOptions | None = None):
-        self.options = options or CompileOptions()
-        self._sources: dict[str, str] = {}
-        self._units: list[UnitIR] | None = None
-        self._store: MemoryStore | None = None
-        self._points_to: dict[str, PointsToResult] = {}
-
-    def add_source(self, filename: str, text: str) -> "Project":
-        self._sources[filename] = text
-        self.options.virtual_files.setdefault(filename, text)
-        self._invalidate()
-        return self
-
-    def add_file(self, path: str) -> "Project":
-        with open(path, "r", errors="replace") as f:
-            return self.add_source(path, f.read())
-
-    def add_header(self, filename: str, text: str) -> "Project":
-        """A header visible to ``#include`` but not compiled on its own."""
-        self.options.virtual_files[filename] = text
-        self._invalidate()
-        return self
-
-    def _invalidate(self) -> None:
-        self._units = None
-        self._store = None
-        self._points_to.clear()
-
-    def units(self) -> list[UnitIR]:
-        """Compile every source (cached)."""
-        if self._units is None:
-            self._units = [
-                compile_source(text, filename=name, options=self.options)
-                for name, text in sorted(self._sources.items())
-            ]
-        return self._units
-
-    def store(self) -> MemoryStore:
-        """Link the compiled units in memory (cached)."""
-        if self._store is None:
-            self._store = MemoryStore(self.units())
-        return self._store
-
-    def write_executable(self, path: str) -> None:
-        """Serialize the linked database to disk."""
-        writer = ObjectFileWriter(field_based=self.options.field_based,
-                                  linked=True)
-        for unit in self.units():
-            writer.add_unit(unit)
-        writer.write(path)
-
-    def points_to(
-        self, solver: str = "pretransitive", **solver_kwargs
-    ) -> PointsToResult:
-        """Run (and cache) a points-to analysis."""
-        key = solver + repr(sorted(solver_kwargs.items()))
-        if key not in self._points_to:
-            self._points_to[key] = analyze_store(
-                self.store(), solver, **solver_kwargs
-            )
-        return self._points_to[key]
-
-    def dependence(
-        self,
-        target: str,
-        non_targets: list[str] | frozenset[str] = frozenset(),
-        solver: str = "pretransitive",
-    ) -> DependenceResult:
-        """Forward dependence query by source-level target name."""
-        points_to = self.points_to(solver)
-        analysis = DependenceAnalysis(self.store(), points_to)
-        targets = analysis.resolve_targets(target)
-        if not targets:
-            raise KeyError(f"no object named {target!r} in the project")
-        return analysis.analyze(targets, non_targets)
 
 
 def build_project_from_dir(

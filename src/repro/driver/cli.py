@@ -20,16 +20,24 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
-from ..cla.reader import DatabaseStore, ObjectFileReader
-from ..depend.analysis import DependenceAnalysis
+from ..cla.reader import ObjectFileReader
 from ..depend.chains import render_all, summarize
-from ..metrics import format_table, human_count, measure
+from ..engine.obs import REGISTRY, Tracer, human_count, measure
+from ..engine.pipeline import Pipeline
 from ..solvers import SOLVERS
 from . import tables
-from .api import CompileOptions, analyze_store, compile_file, link_objects
-from ..cla.writer import write_unit
+from .api import CompileOptions, link_objects
+
+
+def _write_trace(tracer: Tracer, path: str) -> None:
+    """``--trace`` output: one JSON document, or JSONL when asked."""
+    if path.endswith(".jsonl"):
+        tracer.write_jsonl(path)
+    else:
+        tracer.write(path)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -40,9 +48,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("compile", help="compile one C file to an object file")
-    p.add_argument("source")
-    p.add_argument("-o", "--output", required=True)
+    p = sub.add_parser("compile",
+                       help="compile C files to CLA object files")
+    p.add_argument("sources", nargs="+")
+    p.add_argument("-o", "--output", required=True,
+                   help="object file (one source) or output directory")
+    p.add_argument("-j", "--jobs", type=int, default=1,
+                   help="compile in N parallel worker processes")
     p.add_argument("-I", "--include", action="append", default=[],
                    help="add an #include search directory")
     p.add_argument("-D", "--define", action="append", default=[],
@@ -65,9 +77,16 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", required=True)
 
     p = sub.add_parser("analyze", help="run points-to analysis")
-    p.add_argument("database")
+    p.add_argument("inputs", nargs="+", metavar="input",
+                   help="a linked .cla database, or .c sources to "
+                        "compile+link in memory first")
     p.add_argument("--solver", default="pretransitive",
                    choices=sorted(SOLVERS))
+    p.add_argument("--trace", dest="trace_out", metavar="FILE",
+                   help="write the stage-span trace as JSON "
+                        "(.jsonl for one span per line)")
+    p.add_argument("--stats", action="store_true",
+                   help="print the uniform solver stats line")
     p.add_argument("--query", action="append", default=[],
                    help="print the points-to set of this object")
     p.add_argument("--no-demand", action="store_true",
@@ -95,6 +114,10 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--min-strength", default="weak",
                    choices=["weak", "strong", "direct"],
                    help="drop chains weaker than this (triage filter)")
+    p.add_argument("--trace", dest="trace_out", metavar="FILE",
+                   help="write the stage-span trace as JSON")
+    p.add_argument("--stats", action="store_true",
+                   help="print the uniform solver stats line")
     p.add_argument("--json", dest="json_out", metavar="FILE",
                    help="write a JSON report to FILE ('-' for stdout)")
     p.add_argument("--csv", dest="csv_out", metavar="FILE",
@@ -146,6 +169,10 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=42)
     p.add_argument("--profile", action="append", default=None,
                    help="restrict to specific benchmark profiles")
+    p.add_argument("--trace", dest="trace_out", metavar="FILE",
+                   help="write the bench-run trace as JSON")
+    p.add_argument("--stats", action="store_true",
+                   help="print the process-wide metric counters")
     return parser
 
 
@@ -162,12 +189,34 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         include_dirs=args.include,
         predefined=predefined,
     )
-    unit = compile_file(args.source, options)
-    write_unit(unit, args.output, field_based=options.field_based)
-    print(
-        f"{args.output}: {len(unit.assignments)} primitive assignments, "
-        f"{len(unit.objects)} objects"
-    )
+    pipeline = Pipeline(options)
+    if len(args.sources) == 1 and not os.path.isdir(args.output):
+        unit = pipeline.compile_to_object(args.sources[0], args.output)
+        print(
+            f"{args.output}: {len(unit.assignments)} primitive assignments, "
+            f"{len(unit.objects)} objects"
+        )
+        return 0
+    # Several sources: the output is a directory of per-file objects.
+    os.makedirs(args.output, exist_ok=True)
+    out_paths = [
+        os.path.join(
+            args.output,
+            os.path.splitext(os.path.basename(src))[0] + ".o",
+        )
+        for src in args.sources
+    ]
+    if len(set(out_paths)) != len(out_paths):
+        print("error: source basenames collide in the output directory",
+              file=sys.stderr)
+        return 1
+    pipeline.compile_files_to_objects(args.sources, out_paths, jobs=args.jobs)
+    for out in out_paths:
+        with ObjectFileReader(out) as reader:
+            print(
+                f"{out}: {reader.assignment_count()} primitive assignments, "
+                f"{reader.object_count()} objects"
+            )
     return 0
 
 
@@ -182,12 +231,35 @@ def _cmd_link(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    store = DatabaseStore.open(args.database)
+    c_files = [p for p in args.inputs if p.endswith(".c")]
+    if c_files and len(c_files) != len(args.inputs):
+        print("error: cannot mix .c sources with a database",
+              file=sys.stderr)
+        return 2
+    if not c_files and len(args.inputs) != 1:
+        print("error: analyze takes one database or a set of .c sources",
+              file=sys.stderr)
+        return 2
+    tracer = Tracer()
+    pipeline = Pipeline(tracer=tracer)
+    store = None
     try:
         kwargs = {}
         if args.solver == "pretransitive" and args.no_demand:
             kwargs["demand_load"] = False
-        m = measure(lambda: analyze_store(store, args.solver, **kwargs))
+        with tracer.span("session", command="analyze"):
+            if c_files:
+                sources = {}
+                for path in c_files:
+                    with open(path, "r", errors="replace") as f:
+                        sources[path] = f.read()
+                units = pipeline.compile_units(sources)
+                store = pipeline.link_units(units)
+            else:
+                store = pipeline.open_database(args.inputs[0])
+            m = measure(
+                lambda: pipeline.analyze(store, args.solver, **kwargs)
+            )
         result = m.result
         print(
             f"solver={args.solver} pointers={result.pointer_variables()} "
@@ -199,6 +271,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             f"assignments: in core={store.stats.in_core} "
             f"loaded={store.stats.loaded} in file={store.stats.in_file}"
         )
+        if args.stats:
+            print(result.stats.render())
         for query in args.query:
             names = store.find_targets(query) or [query]
             for name in names:
@@ -245,24 +319,33 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                 with open(args.json_out, "w") as f:
                     f.write(payload)
     finally:
-        store.close()
+        # Written in finally so a failed run still leaves a partial trace.
+        if args.trace_out:
+            _write_trace(tracer, args.trace_out)
+        if store is not None and hasattr(store, "close"):
+            store.close()
     return 0
 
 
 def _cmd_depend(args: argparse.Namespace) -> int:
-    store = DatabaseStore.open(args.database)
-    try:
-        points_to = analyze_store(store, args.solver)
-        analysis = DependenceAnalysis(store, points_to)
-        targets = analysis.resolve_targets(args.target)
-        if not targets:
-            print(f"error: no object named {args.target!r}", file=sys.stderr)
-            return 1
-        from ..ir.strength import Strength
+    from ..ir.strength import Strength
 
+    tracer = Tracer()
+    pipeline = Pipeline(tracer=tracer)
+    store = pipeline.open_database(args.database)
+    try:
         threshold = Strength[args.min_strength.upper()]
-        result = analysis.analyze(targets, frozenset(args.non_target),
-                                  min_strength=threshold)
+        with tracer.span("session", command="depend"):
+            points_to = pipeline.analyze(store, args.solver)
+            try:
+                result = pipeline.depend(
+                    store, points_to, args.target,
+                    frozenset(args.non_target), min_strength=threshold,
+                )
+            except KeyError:
+                print(f"error: no object named {args.target!r}",
+                      file=sys.stderr)
+                return 1
         counts = summarize(result)
         total = sum(counts.values())
         print(
@@ -270,6 +353,8 @@ def _cmd_depend(args: argparse.Namespace) -> int:
             f"(direct={counts['direct']} strong={counts['strong']} "
             f"weak={counts['weak']}); blocks loaded: {result.blocks_loaded}"
         )
+        if args.stats:
+            print(points_to.stats.render())
         if args.tree:
             from ..depend.report import render_tree
 
@@ -305,6 +390,9 @@ def _cmd_depend(args: argparse.Namespace) -> int:
                 with open(args.dot_out, "w") as f:
                     f.write(payload)
     finally:
+        # Written in finally so a failed run still leaves a partial trace.
+        if args.trace_out:
+            _write_trace(tracer, args.trace_out)
         store.close()
     return 0
 
@@ -312,9 +400,10 @@ def _cmd_depend(args: argparse.Namespace) -> int:
 def _cmd_callgraph(args: argparse.Namespace) -> int:
     from ..depend.callgraph import build_call_graph
 
-    store = DatabaseStore.open(args.database)
+    pipeline = Pipeline()
+    store = pipeline.open_database(args.database)
     try:
-        points_to = analyze_store(store, args.solver)
+        points_to = pipeline.analyze(store, args.solver)
         graph = build_call_graph(store, points_to)
         n_edges = sum(len(c) for c in graph.edges.values())
         print(
@@ -396,9 +485,25 @@ def _cmd_synth(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    tracer = Tracer()
     kwargs = {"scale": args.scale, "seed": args.seed}
     if args.profile:
         kwargs["profiles"] = args.profile
+    try:
+        with tracer.span("bench", table=args.table):
+            headers, rows, title = _bench_table(args, kwargs)
+    finally:
+        # Written in finally so a failed run still leaves a partial trace.
+        if args.trace_out:
+            _write_trace(tracer, args.trace_out)
+    print(tables.render(title, headers, rows))
+    if args.stats:
+        for name, value in REGISTRY.snapshot().items():
+            print(f"{name}={value}")
+    return 0
+
+
+def _bench_table(args: argparse.Namespace, kwargs: dict):
     if args.table == "table1":
         headers, rows = tables.table1_rows()
         title = "Table 1: Classification of operations"
@@ -422,8 +527,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     else:
         headers, rows = tables.demand_rows(**kwargs)
         title = "Demand loading vs full loading (§4)"
-    print(tables.render(title, headers, rows))
-    return 0
+    return headers, rows, title
 
 
 def _cmd_transform(args: argparse.Namespace) -> int:

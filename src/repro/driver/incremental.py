@@ -17,30 +17,21 @@ from __future__ import annotations
 import hashlib
 import os
 import tempfile
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from concurrent.futures import ProcessPoolExecutor
 
-from ..cla.linker import link_object_files
-from ..cla.reader import DatabaseStore
-from ..cla.writer import write_unit
+from ..engine.obs import Tracer
+from ..engine.pipeline import (
+    CompileOptions,
+    Pipeline,
+    compile_unit_to_path,
+    resolve_jobs,
+)
 from ..solvers.base import PointsToResult
-from .api import CompileOptions, analyze_store, compile_source
 
-
-def _compile_to_path(filename: str, text: str, object_path: str,
-                     options: CompileOptions) -> str:
-    """Worker for parallel builds: compile one file, write its object.
-
-    Module-level so ProcessPoolExecutor can pickle it.  The CLA design is
-    what makes this embarrassingly parallel (§4: the architecture
-    "supports separate and/or parallel compilation of collections of
-    source files") — workers share nothing and only the cheap link phase
-    is serial.
-    """
-    unit = compile_source(text, filename=filename, options=options)
-    write_unit(unit, object_path, field_based=options.field_based)
-    return object_path
+#: Historical name for the parallel-build worker (now an engine concern).
+_compile_to_path = compile_unit_to_path
 
 
 @dataclass
@@ -67,8 +58,10 @@ class Workspace:
         self,
         cache_dir: str | None = None,
         options: CompileOptions | None = None,
+        tracer: Tracer | None = None,
     ):
-        self.options = options or CompileOptions()
+        self.pipeline = Pipeline(options=options, tracer=tracer)
+        self.options = self.pipeline.options
         if cache_dir is None:
             self._tempdir = tempfile.TemporaryDirectory(prefix="cla-ws-")
             cache_dir = self._tempdir.name
@@ -136,14 +129,15 @@ class Workspace:
         h.update(filename.encode())
         return h.hexdigest()[:24]
 
-    def build(self, jobs: int = 1) -> str:
+    def build(self, jobs: int | None = None) -> str:
         """Compile what changed, relink if anything did; returns the
         executable database path.
 
-        ``jobs > 1`` compiles the outdated files in parallel worker
-        processes — sound because CLA object files are per-file and
-        independent.
+        ``jobs`` defaults to every core (``os.cpu_count()``); values above
+        one compile the outdated files in parallel worker processes —
+        sound because CLA object files are per-file and independent.
         """
+        jobs = resolve_jobs(jobs)
         self.stats = WorkspaceStats(builds=self.stats.builds + 1)
         changed = False
         object_paths: list[str] = []
@@ -166,19 +160,23 @@ class Workspace:
                 changed = True
             object_paths.append(object_path)
         if pending:
-            if jobs > 1 and len(pending) > 1:
-                with ProcessPoolExecutor(max_workers=jobs) as pool:
-                    futures = [
-                        pool.submit(_compile_to_path, filename, entry.text,
-                                    object_path, self.options)
-                        for filename, entry, _key, object_path in pending
-                    ]
-                    for future in futures:
-                        future.result()
-            else:
-                for filename, entry, _key, object_path in pending:
-                    _compile_to_path(filename, entry.text, object_path,
-                                     self.options)
+            with self.pipeline.tracer.span(
+                "compile", files=len(pending), jobs=jobs
+            ):
+                if jobs > 1 and len(pending) > 1:
+                    workers = min(jobs, len(pending))
+                    with ProcessPoolExecutor(max_workers=workers) as pool:
+                        futures = [
+                            pool.submit(compile_unit_to_path, filename,
+                                        entry.text, object_path, self.options)
+                            for filename, entry, _key, object_path in pending
+                        ]
+                        for future in futures:
+                            future.result()
+                else:
+                    for filename, entry, _key, object_path in pending:
+                        compile_unit_to_path(filename, entry.text, object_path,
+                                             self.options)
             for filename, entry, key, object_path in pending:
                 entry.content_key = key
                 entry.object_path = object_path
@@ -188,7 +186,7 @@ class Workspace:
         executable = os.path.join(self.cache_dir, "workspace.cla")
         if changed or self._executable_stale or self._executable is None \
                 or not os.path.exists(executable):
-            link_object_files(object_paths, executable)
+            self.pipeline.link_objects(object_paths, executable)
             self.stats.linked = True
         self._executable = executable
         self._executable_stale = False
@@ -197,11 +195,7 @@ class Workspace:
     def analyze(self, solver: str = "pretransitive",
                 **solver_kwargs) -> PointsToResult:
         path = self.build()
-        store = DatabaseStore.open(path)
-        try:
-            return analyze_store(store, solver, **solver_kwargs)
-        finally:
-            store.close()
+        return self.pipeline.analyze_database(path, solver, **solver_kwargs)
 
     def close(self) -> None:
         if self._tempdir is not None:

@@ -22,8 +22,8 @@ from ..cfront.source import SourceFile
 from ..cla.linker import link_object_files
 from ..cla.reader import DatabaseStore
 from ..cla.writer import ObjectFileWriter
+from ..engine.obs import format_table, human_count, measure
 from ..ir import assignment_mix
-from ..metrics import format_table, human_count, measure
 from ..solvers import SOLVERS, PreTransitiveSolver
 from ..synth import BENCHMARK_ORDER, generate
 from ..synth.generator import HEADER_NAME, SynthProgram
@@ -203,6 +203,10 @@ def table3_rows(
             m = measure(lambda: analyze_store(store, solver))
             result = m.result
             paper = PAPER_TABLE3[name]
+            # The load-accounting columns come from the uniform stats
+            # record, not the store, so every solver reports them the
+            # same way.
+            in_core, loaded, in_file = result.stats.table3_columns()
             rows.append([
                 f"{name}@{s:g}",
                 str(result.pointer_variables()),
@@ -210,9 +214,9 @@ def table3_rows(
                 f"{m.real_seconds:.2f}s",
                 f"{m.user_seconds:.2f}s",
                 f"{m.peak_rss_mb:.0f}MB",
-                str(store.stats.in_core),
-                str(store.stats.loaded),
-                str(store.stats.in_file),
+                str(in_core),
+                str(loaded),
+                str(in_file),
                 str(paper[0]), human_count(paper[1]), f"{paper[2]:.2f}s",
             ])
             store.close()
@@ -359,12 +363,13 @@ def demand_rows(
                         store, demand_load=demand
                     ).solve()
                 )
+                in_core, loaded, in_file = m.result.stats.table3_columns()
                 rows.append([
                     f"{name}@{s:g}",
                     "demand" if demand else "full",
-                    str(store.stats.in_core),
-                    str(store.stats.loaded),
-                    str(store.stats.in_file),
+                    str(in_core),
+                    str(loaded),
+                    str(in_file),
                     f"{m.user_seconds:.2f}s",
                 ])
                 store.close()

@@ -1,0 +1,354 @@
+"""Structured observability for the pipeline engine.
+
+The paper's practicality argument rests on being able to *measure* where
+analysis time and memory go (§6 reports wall clock, user time and process
+size per phase; Table 3's last three columns are load accounting).  This
+module is the measurement spine the rest of the system reports through:
+
+* :class:`Span` / :class:`Tracer` — nested, named timing regions.  Every
+  span records wall time (:func:`time.perf_counter`), user time
+  (:func:`os.times`) and the peak-RSS delta across its extent, plus
+  arbitrary attributes (solver name, file counts, solver stats).  Traces
+  export as a JSON tree or flat JSONL (see docs/OBSERVABILITY.md for the
+  schema).
+* :class:`Counter` / :class:`MetricsRegistry` — process-wide monotonic
+  counters.  The CLA store layer feeds its load accounting here
+  (``cla.blocks_loaded``, ``cla.assignments_loaded``) and every solver
+  publishes its :class:`~repro.engine.stats.SolverStats`, so a single
+  snapshot answers "what did this process do".
+
+The measurement helpers that used to live in :mod:`repro.metrics`
+(:func:`measure`, :class:`Measurement`, the table/number formatters) are
+absorbed here; ``repro.metrics`` remains as a deprecation shim.
+
+Absolute values are not comparable to the paper's 800 MHz C implementation
+(EXPERIMENTS.md quantifies the gap); the benches compare *shapes*.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import resource
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+# ---------------------------------------------------------------------------
+# Point measurements (absorbed from repro.metrics)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class Measurement:
+    """One timed run."""
+
+    real_seconds: float
+    user_seconds: float
+    peak_rss_mb: float
+    result: Any = None
+
+    def row(self) -> tuple[str, str, str]:
+        return (
+            f"{self.real_seconds:.3f}s",
+            f"{self.user_seconds:.3f}s",
+            f"{self.peak_rss_mb:.1f}MB",
+        )
+
+
+def peak_rss_mb() -> float:
+    """Peak resident set size of this process, in MB (Linux: ru_maxrss KB)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def measure(fn: Callable[[], Any]) -> Measurement:
+    """Run ``fn`` once, measuring real time, user time and peak RSS."""
+    t0 = os.times()
+    real0 = time.perf_counter()
+    result = fn()
+    real1 = time.perf_counter()
+    t1 = os.times()
+    return Measurement(
+        real_seconds=real1 - real0,
+        user_seconds=t1.user - t0.user,
+        peak_rss_mb=peak_rss_mb(),
+        result=result,
+    )
+
+
+def format_table(
+    headers: list[str], rows: list[list[str]], title: str = ""
+) -> str:
+    """Render an aligned text table like the paper's Tables 2-4."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def human_count(n: int) -> str:
+    """Counts in the paper's style: 7K, 11232K, 1.3M."""
+    if n >= 10_000_000:
+        return f"{n / 1_000_000:.1f}M"
+    if n >= 1000:
+        return f"{n // 1000}K"
+    return str(n)
+
+
+def human_bytes(n: int) -> str:
+    if n >= 1_000_000:
+        return f"{n / 1_000_000:.1f}MB"
+    if n >= 1000:
+        return f"{n / 1000:.1f}KB"
+    return f"{n}B"
+
+
+# ---------------------------------------------------------------------------
+# Spans and tracing
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Span:
+    """One named timing region; spans nest to form a trace tree."""
+
+    name: str
+    attrs: dict[str, Any] = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+    start_wall: float = 0.0
+    end_wall: float | None = None
+    start_user: float = 0.0
+    end_user: float | None = None
+    start_rss_mb: float = 0.0
+    end_rss_mb: float | None = None
+
+    def begin(self) -> "Span":
+        self.start_user = os.times().user
+        self.start_rss_mb = peak_rss_mb()
+        self.start_wall = time.perf_counter()
+        return self
+
+    def finish(self) -> "Span":
+        self.end_wall = time.perf_counter()
+        self.end_user = os.times().user
+        self.end_rss_mb = peak_rss_mb()
+        return self
+
+    @property
+    def closed(self) -> bool:
+        return self.end_wall is not None
+
+    @property
+    def wall_seconds(self) -> float:
+        end = self.end_wall if self.end_wall is not None \
+            else time.perf_counter()
+        return end - self.start_wall
+
+    @property
+    def user_seconds(self) -> float:
+        end = self.end_user if self.end_user is not None else os.times().user
+        return end - self.start_user
+
+    @property
+    def rss_delta_mb(self) -> float:
+        end = self.end_rss_mb if self.end_rss_mb is not None else peak_rss_mb()
+        return end - self.start_rss_mb
+
+    def annotate(self, **attrs: Any) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    def to_dict(self, epoch: float | None = None) -> dict[str, Any]:
+        epoch = self.start_wall if epoch is None else epoch
+        return {
+            "name": self.name,
+            "start_s": round(self.start_wall - epoch, 6),
+            "wall_s": round(self.wall_seconds, 6),
+            "user_s": round(self.user_seconds, 6),
+            "rss_delta_mb": round(self.rss_delta_mb, 3),
+            "attrs": dict(self.attrs),
+            "children": [c.to_dict(epoch) for c in self.children],
+        }
+
+
+class Tracer:
+    """Collects a tree of spans; one per pipeline run (or process).
+
+    Usage::
+
+        tracer = Tracer()
+        with tracer.span("compile", files=3):
+            with tracer.span("unit", file="a.c"):
+                ...
+        tracer.write("trace.json")
+    """
+
+    def __init__(self) -> None:
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+        self._epoch: float | None = None
+
+    def span(self, name: str, **attrs: Any) -> "_SpanContext":
+        """A context manager opening a child span of the current span."""
+        return _SpanContext(self, name, attrs)
+
+    @property
+    def current(self) -> Span | None:
+        return self._stack[-1] if self._stack else None
+
+    def annotate(self, **attrs: Any) -> None:
+        """Attach attributes to the innermost open span (no-op outside)."""
+        if self._stack:
+            self._stack[-1].annotate(**attrs)
+
+    def _push(self, span: Span) -> Span:
+        span.begin()
+        if self._epoch is None:
+            self._epoch = span.start_wall
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        return span
+
+    def _pop(self, span: Span) -> None:
+        span.finish()
+        # Tolerate exceptions unwinding several frames at once.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+
+    # -- export --------------------------------------------------------------
+
+    def to_dict(self, registry: "MetricsRegistry | None" = None) -> dict:
+        registry = REGISTRY if registry is None else registry
+        return {
+            "schema": TRACE_SCHEMA_VERSION,
+            "trace": [r.to_dict(self._epoch) for r in self.roots],
+            "counters": registry.snapshot(),
+        }
+
+    def to_json(self, registry: "MetricsRegistry | None" = None) -> str:
+        return json.dumps(self.to_dict(registry), indent=2, sort_keys=True)
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as f:
+            f.write(self.to_json())
+            f.write("\n")
+
+    def iter_spans(self) -> Iterator[tuple[Span, Span | None]]:
+        """Depth-first (span, parent) pairs over the whole trace."""
+        stack: list[tuple[Span, Span | None]] = [
+            (r, None) for r in reversed(self.roots)
+        ]
+        while stack:
+            span, parent = stack.pop()
+            yield span, parent
+            for child in reversed(span.children):
+                stack.append((child, span))
+
+    def write_jsonl(self, path: str) -> None:
+        """Flat export: one span per line with id/parent references."""
+        ids: dict[int, int] = {}
+        with open(path, "w") as f:
+            for i, (span, parent) in enumerate(self.iter_spans()):
+                ids[id(span)] = i
+                record = span.to_dict(self._epoch)
+                record.pop("children")
+                record["id"] = i
+                record["parent"] = ids.get(id(parent)) if parent else None
+                f.write(json.dumps(record, sort_keys=True))
+                f.write("\n")
+
+    def find(self, name: str) -> list[Span]:
+        """All spans with this name, depth-first order."""
+        return [s for s, _ in self.iter_spans() if s.name == name]
+
+
+class _SpanContext:
+    __slots__ = ("_tracer", "_name", "_attrs", "span")
+
+    def __init__(self, tracer: Tracer, name: str, attrs: dict[str, Any]):
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+        self.span: Span | None = None
+
+    def __enter__(self) -> Span:
+        self.span = self._tracer._push(Span(self._name, dict(self._attrs)))
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.span.annotate(error=repr(exc))
+        self._tracer._pop(self.span)
+
+
+TRACE_SCHEMA_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Monotonic counters
+# ---------------------------------------------------------------------------
+
+
+class Counter:
+    """A named monotonic counter.  ``add`` rejects negative increments."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def add(self, n: int = 1) -> int:
+        if n < 0:
+            raise ValueError(f"counter {self.name!r}: negative add {n}")
+        self.value += n
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class MetricsRegistry:
+    """Process-wide registry of monotonic counters.
+
+    ``reset`` zeroes values *in place* so module-level counter handles
+    (e.g. the CLA store's load counters) stay live across resets.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = Counter(name)
+            self._counters[name] = c
+        return c
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            name: c.value
+            for name, c in sorted(self._counters.items())
+            if c.value
+        }
+
+    def reset(self) -> None:
+        for c in self._counters.values():
+            c.value = 0
+
+
+#: The process-wide registry everything reports into by default.
+REGISTRY = MetricsRegistry()

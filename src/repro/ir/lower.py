@@ -509,6 +509,7 @@ class Lowerer:
             self._scopes.pop()
             self._current_function = previous_fn
             self._current_function_record = previous_record
+            self._current_ret_type = previous_ret_type
 
     # ------------------------------------------------------------------
     # Statements

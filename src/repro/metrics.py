@@ -1,93 +1,26 @@
-"""Measurement helpers for the benchmark harness (paper §6).
+"""Deprecated shim: the measurement helpers moved to :mod:`repro.engine.obs`.
 
-The paper reports wall-clock time, user time (``/bin/time``), and process
-size (static + text + malloc'd, §6).  The Python equivalents here:
-
-* wall clock — :func:`time.perf_counter`;
-* user time  — :func:`os.times` (utime delta of this process);
-* space      — peak RSS via ``resource.getrusage`` plus the current Python
-  heap via :mod:`tracemalloc` when a finer signal is wanted.
-
-Absolute values are not comparable to the paper's 800 MHz C implementation
-(EXPERIMENTS.md quantifies the gap); the benches compare *shapes*.
+Kept so ``from repro.metrics import measure`` keeps working; new code
+should import from :mod:`repro.engine` (or :mod:`repro.engine.obs`), which
+also provides spans, tracing and the process-wide metrics registry.
 """
 
 from __future__ import annotations
 
-import os
-import resource
-import time
-from dataclasses import dataclass
-from typing import Any, Callable
+from .engine.obs import (
+    Measurement,
+    format_table,
+    human_bytes,
+    human_count,
+    measure,
+    peak_rss_mb,
+)
 
-
-@dataclass(slots=True)
-class Measurement:
-    """One timed run."""
-
-    real_seconds: float
-    user_seconds: float
-    peak_rss_mb: float
-    result: Any = None
-
-    def row(self) -> tuple[str, str, str]:
-        return (
-            f"{self.real_seconds:.3f}s",
-            f"{self.user_seconds:.3f}s",
-            f"{self.peak_rss_mb:.1f}MB",
-        )
-
-
-def peak_rss_mb() -> float:
-    """Peak resident set size of this process, in MB (Linux: ru_maxrss KB)."""
-    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
-
-
-def measure(fn: Callable[[], Any]) -> Measurement:
-    """Run ``fn`` once, measuring real time, user time and peak RSS."""
-    t0 = os.times()
-    real0 = time.perf_counter()
-    result = fn()
-    real1 = time.perf_counter()
-    t1 = os.times()
-    return Measurement(
-        real_seconds=real1 - real0,
-        user_seconds=t1.user - t0.user,
-        peak_rss_mb=peak_rss_mb(),
-        result=result,
-    )
-
-
-def format_table(
-    headers: list[str], rows: list[list[str]], title: str = ""
-) -> str:
-    """Render an aligned text table like the paper's Tables 2-4."""
-    widths = [len(h) for h in headers]
-    for row in rows:
-        for i, cell in enumerate(row):
-            widths[i] = max(widths[i], len(cell))
-    lines = []
-    if title:
-        lines.append(title)
-    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
-    lines.append("  ".join("-" * w for w in widths))
-    for row in rows:
-        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
-    return "\n".join(lines)
-
-
-def human_count(n: int) -> str:
-    """Counts in the paper's style: 7K, 11232K, 1.3M."""
-    if n >= 10_000_000:
-        return f"{n / 1_000_000:.1f}M"
-    if n >= 1000:
-        return f"{n // 1000}K"
-    return str(n)
-
-
-def human_bytes(n: int) -> str:
-    if n >= 1_000_000:
-        return f"{n / 1_000_000:.1f}MB"
-    if n >= 1000:
-        return f"{n / 1000:.1f}KB"
-    return f"{n}B"
+__all__ = [
+    "Measurement",
+    "format_table",
+    "human_bytes",
+    "human_count",
+    "measure",
+    "peak_rss_mb",
+]

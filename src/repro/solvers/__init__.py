@@ -15,7 +15,7 @@ All consume a :class:`~repro.cla.store.ConstraintStore` and produce a
 :class:`PointsToResult`.
 """
 
-from .base import FunPtrLinker, PointsToResult, SolverMetrics
+from .base import BaseSolver, FunPtrLinker, PointsToResult, SolverMetrics, SolverStats
 from .bitvector import BitVectorSolver
 from .onelevel import OneLevelFlowSolver
 from .pretransitive import PreTransitiveSolver
@@ -31,7 +31,7 @@ SOLVERS = {
 }
 
 __all__ = [
-    "FunPtrLinker", "PointsToResult", "SolverMetrics",
+    "BaseSolver", "FunPtrLinker", "PointsToResult", "SolverMetrics", "SolverStats",
     "BitVectorSolver", "OneLevelFlowSolver", "PreTransitiveSolver",
     "SteensgaardSolver",
     "TransitiveSolver", "SOLVERS",

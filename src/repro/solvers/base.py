@@ -1,10 +1,22 @@
 """Common solver infrastructure.
 
 Every points-to solver consumes a :class:`~repro.cla.store.ConstraintStore`
-and produces a :class:`PointsToResult`.  Analysis-time function-pointer
-linking (§4: when ``g`` lands in the points-to set of a pointer ``f`` used
-at an indirect call site, link ``g$argN = <f>$argN`` and
-``<f>$ret = g$ret``) is shared here because all four solvers need it.
+and produces a :class:`PointsToResult`.  Three things are shared here:
+
+* :class:`BaseSolver` — the skeleton all five solvers extend: store +
+  uniform :class:`~repro.engine.stats.SolverStats` + function-pointer
+  linker, full-database ingestion for the non-demand solvers, and the
+  :meth:`BaseSolver._finalize` reporting hook that snapshots the CLA load
+  accounting into the stats record and publishes it to the process-wide
+  metrics registry.
+* Analysis-time function-pointer linking (§4: when ``g`` lands in the
+  points-to set of a pointer ``f`` used at an indirect call site, link
+  ``g$argN = <f>$argN`` and ``<f>$ret = g$ret``) — all solvers need it.
+* :class:`PointsToResult` — the uniform output record.
+
+``SolverMetrics`` is a deprecated alias of ``SolverStats``; the counters
+formerly private to each solver now live in one schema (see
+docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -12,20 +24,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..cla.store import ConstraintStore, LoadStats
+from ..engine.stats import SolverStats
 from ..ir.objects import ObjectKind, ProgramObject
+from ..ir.primitives import PrimitiveKind
 
-
-@dataclass
-class SolverMetrics:
-    """Instrumentation every solver fills in."""
-
-    rounds: int = 0
-    edges_added: int = 0
-    constraints: int = 0  # complex assignments processed (kept in core)
-    cycles_collapsed: int = 0  # nodes removed by unification
-    lval_queries: int = 0
-    nodes_visited: int = 0  # node expansions during reachability traversals
-    funcptr_links: int = 0
+#: Deprecated alias — the uniform per-solver stats record now lives in
+#: :mod:`repro.engine.stats` so benches and the CLI share one schema.
+SolverMetrics = SolverStats
 
 
 @dataclass
@@ -34,10 +39,16 @@ class PointsToResult:
 
     solver: str
     pts: dict[str, frozenset[str]]
-    metrics: SolverMetrics = field(default_factory=SolverMetrics)
+    metrics: SolverStats = field(default_factory=SolverStats)
     load_stats: LoadStats = field(default_factory=LoadStats)
     #: Object metadata snapshot for reporting (name -> ProgramObject).
     objects: dict[str, ProgramObject] = field(default_factory=dict)
+
+    @property
+    def stats(self) -> SolverStats:
+        """The uniform stats record (preferred name; ``metrics`` is the
+        historical field name)."""
+        return self.metrics
 
     def points_to(self, name: str) -> frozenset[str]:
         return self.pts.get(name, frozenset())
@@ -80,6 +91,92 @@ class PointsToResult:
             for target in targets:
                 reverse.setdefault(target, set()).add(pointer)
         return reverse
+
+
+class BaseSolver:
+    """Skeleton shared by all five solvers.
+
+    Subclasses implement ``_ingest(kind, dst, src)`` (constraint intake)
+    and ``solve()``; they report results through :meth:`_finalize`, which
+    is the single seam the stats layer hangs off.
+    """
+
+    name = "base"
+
+    def __init__(self, store: ConstraintStore):
+        self.store = store
+        self.stats = SolverStats(solver=self.name)
+        #: Historical alias: counters were formerly ``solver.metrics``.
+        self.metrics = self.stats
+        self._linker = FunPtrLinker(store)
+        self._funcptrs: set[str] = set()
+        self._functions: set[str] = set()
+
+    # -- constraint intake ----------------------------------------------------
+
+    def _ingest(self, kind: PrimitiveKind, dst: str, src: str) -> None:
+        raise NotImplementedError
+
+    def _may_point_pair(self, kind: PrimitiveKind, dst: str, src: str) -> bool:
+        """Non-pointer value flow is irrelevant to aliasing (§6).  The
+        exception is ``x = &y``: the *address* of a non-pointer object is
+        still a pointer value (p = &v with short v, §2)."""
+        obj = self.store.get_object(dst)
+        if obj is not None and not obj.may_point:
+            return False
+        if kind is not PrimitiveKind.ADDR:
+            sobj = self.store.get_object(src)
+            if sobj is not None and not sobj.may_point:
+                return False
+        return True
+
+    def _ingest_all(self) -> None:
+        """Full (non-demand) loading: statics, then every dynamic block.
+
+        The transitively-closed baselines propagate eagerly and have no
+        natural point to demand-load from (§4's contrast with prior
+        architectures), so they ingest the whole database up front.
+        """
+        for a in self.store.static_assignments():
+            self._ingest(a.kind, a.dst, a.src)
+        for name in list(self.store.block_names()):
+            block = self.store.load_block(name)
+            if block is None:
+                continue
+            for a in block.assignments:
+                self._ingest(a.kind, a.dst, a.src)
+
+    def _scan_functions(self) -> None:
+        """Populate the funcptr/function name sets from store metadata."""
+        for name in self.store.object_names():
+            obj = self.store.get_object(name)
+            if obj is None:
+                continue
+            if obj.is_funcptr:
+                self._funcptrs.add(name)
+            if obj.kind == ObjectKind.FUNCTION:
+                self._functions.add(name)
+
+    # -- the shared reporting hook ---------------------------------------------
+
+    def _finalize(self, pts: dict[str, frozenset[str]]) -> PointsToResult:
+        """Build the result record: snapshot the CLA load accounting into
+        the uniform stats, publish to the process registry, attach object
+        metadata."""
+        self.stats.absorb_load_stats(self.store.stats)
+        self.stats.publish()
+        objects = {}
+        for name in pts:
+            obj = self.store.get_object(name)
+            if obj is not None:
+                objects[name] = obj
+        return PointsToResult(
+            solver=self.name,
+            pts=pts,
+            metrics=self.stats,
+            load_stats=self.store.stats,
+            objects=objects,
+        )
 
 
 class FunPtrLinker:

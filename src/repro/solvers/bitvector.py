@@ -14,9 +14,8 @@ from __future__ import annotations
 from collections import deque
 
 from ..cla.store import ConstraintStore
-from ..ir.objects import ObjectKind
 from ..ir.primitives import PrimitiveKind
-from .base import FunPtrLinker, PointsToResult, SolverMetrics
+from .base import BaseSolver, PointsToResult
 
 
 def bits(mask: int):
@@ -27,14 +26,13 @@ def bits(mask: int):
         mask ^= low
 
 
-class BitVectorSolver:
+class BitVectorSolver(BaseSolver):
     """Worklist Andersen with integer-bitmask points-to sets."""
 
     name = "bitvector"
 
     def __init__(self, store: ConstraintStore):
-        self.store = store
-        self.metrics = SolverMetrics()
+        super().__init__(store)
         self._ids: dict[str, int] = {}
         self._names: list[str] = []
         self._pts: dict[int, int] = {}
@@ -44,8 +42,7 @@ class BitVectorSolver:
         self._stores_on: dict[int, list[int]] = {}
         self._worklist: deque[int] = deque()
         self._queued: set[int] = set()
-        self._linker = FunPtrLinker(store)
-        self._funcptrs: set[int] = set()
+        self._funcptr_ids: set[int] = set()
         self._function_mask = 0
         self._split_counter = 0
 
@@ -58,13 +55,8 @@ class BitVectorSolver:
         return i
 
     def _ingest(self, kind: PrimitiveKind, dst: str, src: str) -> None:
-        obj = self.store.get_object(dst)
-        if obj is not None and not obj.may_point:
+        if not self._may_point_pair(kind, dst, src):
             return
-        if kind is not PrimitiveKind.ADDR:
-            sobj = self.store.get_object(src)
-            if sobj is not None and not sobj.may_point:
-                return
         if kind is PrimitiveKind.COPY:
             self._add_edge(self._id(src), self._id(dst))
         elif kind is PrimitiveKind.ADDR:
@@ -117,14 +109,7 @@ class BitVectorSolver:
             self._worklist.append(node)
 
     def solve(self) -> PointsToResult:
-        for a in self.store.static_assignments():
-            self._ingest(a.kind, a.dst, a.src)
-        for name in list(self.store.block_names()):
-            block = self.store.load_block(name)
-            if block is None:
-                continue
-            for a in block.assignments:
-                self._ingest(a.kind, a.dst, a.src)
+        self._ingest_all()
         self._collect_funcptrs()
 
         while self._worklist:
@@ -142,7 +127,7 @@ class BitVectorSolver:
             for y in self._stores_on.get(node, ()):
                 for z in bits(delta):
                     self._add_edge(y, z)
-            if node in self._funcptrs and (delta & self._function_mask):
+            if node in self._funcptr_ids and (delta & self._function_mask):
                 callees = [self._names[b] for b in bits(delta & self._function_mask)]
                 for dst, src in self._linker.link(self._names[node], callees):
                     self.metrics.funcptr_links += 1
@@ -152,15 +137,12 @@ class BitVectorSolver:
         return self._result()
 
     def _collect_funcptrs(self) -> None:
-        for name in self.store.object_names():
-            obj = self.store.get_object(name)
-            if obj is None:
-                continue
-            if obj.is_funcptr:
-                self._funcptrs.add(self._id(name))
-            if obj.kind == ObjectKind.FUNCTION:
-                self._function_mask |= 1 << self._id(name)
-        for fp in self._funcptrs:
+        self._scan_functions()
+        for name in self._funcptrs:
+            self._funcptr_ids.add(self._id(name))
+        for name in self._functions:
+            self._function_mask |= 1 << self._id(name)
+        for fp in self._funcptr_ids:
             self._replay(fp)
 
     def _result(self) -> PointsToResult:
@@ -170,18 +152,7 @@ class BitVectorSolver:
             if name.startswith("$sl"):
                 continue
             pts[name] = frozenset(self._names[b] for b in bits(mask))
-        objects = {}
-        for name in pts:
-            obj = self.store.get_object(name)
-            if obj is not None:
-                objects[name] = obj
-        return PointsToResult(
-            solver=self.name,
-            pts=pts,
-            metrics=self.metrics,
-            load_stats=self.store.stats,
-            objects=objects,
-        )
+        return self._finalize(pts)
 
 
 def solve(store: ConstraintStore) -> PointsToResult:

@@ -49,9 +49,8 @@ from __future__ import annotations
 from collections import deque
 
 from ..cla.store import ConstraintStore
-from ..ir.objects import ObjectKind
 from ..ir.primitives import PrimitiveKind
-from .base import FunPtrLinker, PointsToResult, SolverMetrics
+from .base import BaseSolver, PointsToResult
 
 
 class _Ecr:
@@ -68,18 +67,14 @@ class _Ecr:
         self.members: list[str] = []  # variable names in this class
 
 
-class OneLevelFlowSolver:
+class OneLevelFlowSolver(BaseSolver):
     """Das-style hybrid: directional top level, unified below."""
 
     name = "onelevel"
 
     def __init__(self, store: ConstraintStore):
-        self.store = store
-        self.metrics = SolverMetrics()
+        super().__init__(store)
         self._ecrs: dict[str, _Ecr] = {}
-        self._linker = FunPtrLinker(store)
-        self._funcptrs: set[str] = set()
-        self._functions: set[str] = set()
 
     # -- union-find -----------------------------------------------------------
 
@@ -148,13 +143,8 @@ class OneLevelFlowSolver:
     # -- constraints -----------------------------------------------------------
 
     def _ingest(self, kind: PrimitiveKind, dst: str, src: str) -> None:
-        obj = self.store.get_object(dst)
-        if obj is not None and not obj.may_point:
+        if not self._may_point_pair(kind, dst, src):
             return
-        if kind is not PrimitiveKind.ADDR:
-            sobj = self.store.get_object(src)
-            if sobj is not None and not sobj.may_point:
-                return
         self.metrics.constraints += 1
         if kind is PrimitiveKind.ADDR:
             x = self._ecr(dst)
@@ -183,15 +173,8 @@ class OneLevelFlowSolver:
     # -- solving ---------------------------------------------------------------
 
     def solve(self) -> PointsToResult:
-        for a in self.store.static_assignments():
-            self._ingest(a.kind, a.dst, a.src)
-        for name in list(self.store.block_names()):
-            block = self.store.load_block(name)
-            if block is None:
-                continue
-            for a in block.assignments:
-                self._ingest(a.kind, a.dst, a.src)
-        self._collect_funcptrs()
+        self._ingest_all()
+        self._scan_functions()
 
         while True:
             self.metrics.rounds += 1
@@ -250,31 +233,10 @@ class OneLevelFlowSolver:
                 pts[member] = targets
         return pts
 
-    def _collect_funcptrs(self) -> None:
-        for name in self.store.object_names():
-            obj = self.store.get_object(name)
-            if obj is None:
-                continue
-            if obj.is_funcptr:
-                self._funcptrs.add(name)
-            if obj.kind == ObjectKind.FUNCTION:
-                self._functions.add(name)
-
     def _result(self, pts: dict[str, frozenset[str]]) -> PointsToResult:
         pts = {name: targets for name, targets in pts.items()
                if not name.startswith("$sl")}
-        objects = {}
-        for name in pts:
-            obj = self.store.get_object(name)
-            if obj is not None:
-                objects[name] = obj
-        return PointsToResult(
-            solver=self.name,
-            pts=pts,
-            metrics=self.metrics,
-            load_stats=self.store.stats,
-            objects=objects,
-        )
+        return self._finalize(pts)
 
 
 def solve(store: ConstraintStore) -> PointsToResult:

@@ -40,9 +40,8 @@ from __future__ import annotations
 from collections import deque
 
 from ..cla.store import ConstraintStore
-from ..ir.objects import ObjectKind
 from ..ir.primitives import PrimitiveKind
-from .base import FunPtrLinker, PointsToResult, SolverMetrics
+from .base import BaseSolver, PointsToResult
 
 
 class _Node:
@@ -73,7 +72,7 @@ class _Node:
         self.t_on_stack = False
 
 
-class PreTransitiveSolver:
+class PreTransitiveSolver(BaseSolver):
     """Field-model-agnostic Andersen solver on a pre-transitive graph."""
 
     name = "pretransitive"
@@ -85,11 +84,10 @@ class PreTransitiveSolver:
         enable_cycle_elimination: bool = True,
         demand_load: bool = True,
     ):
-        self.store = store
+        super().__init__(store)
         self.enable_cache = enable_cache
         self.enable_cycle_elimination = enable_cycle_elimination
         self.demand_load = demand_load
-        self.metrics = SolverMetrics()
 
         self._nodes: dict[str, _Node] = {}
         self._uid = 0
@@ -116,10 +114,6 @@ class PreTransitiveSolver:
         #: name round-trip on the hot getLvalsNodes path
         self._obj_nodes: list["_Node | None"] = []
         self._may_point_cache: dict[str, bool] = {}
-
-        self._linker = FunPtrLinker(store)
-        self._funcptr_names: set[str] = set()
-        self._function_names: set[str] = set()
 
     # ------------------------------------------------------------------
     # Node / object plumbing
@@ -302,11 +296,13 @@ class PreTransitiveSolver:
         return self._ephemeral_token
 
     def _lvals(self, node: _Node) -> frozenset[int]:
-        self.metrics.lval_queries += 1
+        self.stats.lval_queries += 1
         node = self._find(node)
         token = self._query_token()
         if node.cache_token == token:
+            self.stats.cache_hits += 1
             return node.cache
+        self.stats.cache_misses += 1
         if self.enable_cycle_elimination:
             return self._lvals_tarjan(node, token)
         return self._lvals_plain(node, token)
@@ -387,6 +383,7 @@ class PreTransitiveSolver:
                 final = self._intern(frozenset(lvals))
                 node.cache = final
                 node.cache_token = token
+                self.stats.lvals_cached += 1
                 result = final
                 if frames:
                     parent = frames[-1][0]
@@ -423,6 +420,7 @@ class PreTransitiveSolver:
         result = self._intern(frozenset(lvals))
         root.cache = result
         root.cache_token = token
+        self.stats.lvals_cached += 1
         return result
 
     # ------------------------------------------------------------------
@@ -441,7 +439,7 @@ class PreTransitiveSolver:
         for a in self.store.static_assignments():
             self._ingest_assignment(a.kind, a.dst, a.src)
 
-        self._collect_funcptrs()
+        self._scan_functions()
 
         while True:
             self._round += 1
@@ -488,25 +486,15 @@ class PreTransitiveSolver:
             out.append(cached)
         return out
 
-    def _collect_funcptrs(self) -> None:
-        for name in self.store.object_names():
-            obj = self.store.get_object(name)
-            if obj is None:
-                continue
-            if obj.is_funcptr:
-                self._funcptr_names.add(name)
-            if obj.kind == ObjectKind.FUNCTION:
-                self._function_names.add(name)
-
     def _link_function_pointers(self) -> None:
-        for pointer in list(self._funcptr_names):
+        for pointer in list(self._funcptrs):
             node = self._nodes.get(pointer)
             if node is None:
                 continue
             callees = [
                 name
                 for uid in self._lvals(self._find(node))
-                if (name := self._obj_names[uid]) in self._function_names
+                if (name := self._obj_names[uid]) in self._functions
             ]
             for dst, src in self._linker.link(pointer, callees):
                 self.metrics.funcptr_links += 1
@@ -535,18 +523,7 @@ class PreTransitiveSolver:
                 cached = frozenset(self._obj_names[u] for u in uids)
                 to_names[uids] = cached
             pts[name] = cached
-        objects = {}
-        for name in pts:
-            obj = self.store.get_object(name)
-            if obj is not None:
-                objects[name] = obj
-        return PointsToResult(
-            solver=self.name,
-            pts=pts,
-            metrics=self.metrics,
-            load_stats=self.store.stats,
-            objects=objects,
-        )
+        return self._finalize(pts)
 
 
 def solve(store: ConstraintStore, **kwargs) -> PointsToResult:

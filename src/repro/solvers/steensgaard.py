@@ -28,9 +28,8 @@ implementation stays a page long.
 from __future__ import annotations
 
 from ..cla.store import ConstraintStore
-from ..ir.objects import ObjectKind
 from ..ir.primitives import PrimitiveKind
-from .base import FunPtrLinker, PointsToResult, SolverMetrics
+from .base import BaseSolver, PointsToResult
 
 
 class _Ecr:
@@ -45,18 +44,14 @@ class _Ecr:
         self.lvals: set[str] = set()  # address-taken objects in this class
 
 
-class SteensgaardSolver:
+class SteensgaardSolver(BaseSolver):
     """Unification-based points-to analysis on the CLA database."""
 
     name = "steensgaard"
 
     def __init__(self, store: ConstraintStore):
-        self.store = store
-        self.metrics = SolverMetrics()
+        super().__init__(store)
         self._ecrs: dict[str, _Ecr] = {}
-        self._linker = FunPtrLinker(store)
-        self._funcptrs: set[str] = set()
-        self._functions: set[str] = set()
 
     # -- union-find -----------------------------------------------------------
 
@@ -131,13 +126,8 @@ class SteensgaardSolver:
     # -- constraints -----------------------------------------------------------
 
     def _ingest(self, kind: PrimitiveKind, dst: str, src: str) -> None:
-        obj = self.store.get_object(dst)
-        if obj is not None and not obj.may_point:
+        if not self._may_point_pair(kind, dst, src):
             return
-        if kind is not PrimitiveKind.ADDR:
-            sobj = self.store.get_object(src)
-            if sobj is not None and not sobj.may_point:
-                return
         if kind is PrimitiveKind.ADDR:
             p = self._pointee(self._ecr(dst))
             target = self._join(p, self._ecr(src))
@@ -160,15 +150,8 @@ class SteensgaardSolver:
     # -- solving ---------------------------------------------------------------
 
     def solve(self) -> PointsToResult:
-        for a in self.store.static_assignments():
-            self._ingest(a.kind, a.dst, a.src)
-        for name in list(self.store.block_names()):
-            block = self.store.load_block(name)
-            if block is None:
-                continue
-            for a in block.assignments:
-                self._ingest(a.kind, a.dst, a.src)
-        self._collect_funcptrs()
+        self._ingest_all()
+        self._scan_functions()
 
         # Function-pointer linking can reveal new callees (a callee's body
         # stores other function addresses); iterate to a fixpoint.  The
@@ -189,16 +172,6 @@ class SteensgaardSolver:
         self.store.discard(0)  # unification keeps no assignments at all
         return self._result()
 
-    def _collect_funcptrs(self) -> None:
-        for name in self.store.object_names():
-            obj = self.store.get_object(name)
-            if obj is None:
-                continue
-            if obj.is_funcptr:
-                self._funcptrs.add(name)
-            if obj.kind == ObjectKind.FUNCTION:
-                self._functions.add(name)
-
     def _result(self) -> PointsToResult:
         pts: dict[str, frozenset[str]] = {}
         cache: dict[int, frozenset[str]] = {}
@@ -214,18 +187,7 @@ class SteensgaardSolver:
             if key not in cache:
                 cache[key] = frozenset(p.lvals)
             pts[name] = cache[key]
-        objects = {}
-        for name in pts:
-            obj = self.store.get_object(name)
-            if obj is not None:
-                objects[name] = obj
-        return PointsToResult(
-            solver=self.name,
-            pts=pts,
-            metrics=self.metrics,
-            load_stats=self.store.stats,
-            objects=objects,
-        )
+        return self._finalize(pts)
 
 
 def solve(store: ConstraintStore) -> PointsToResult:

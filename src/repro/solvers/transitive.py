@@ -21,19 +21,17 @@ from __future__ import annotations
 from collections import deque
 
 from ..cla.store import ConstraintStore
-from ..ir.objects import ObjectKind
 from ..ir.primitives import PrimitiveKind
-from .base import FunPtrLinker, PointsToResult, SolverMetrics
+from .base import BaseSolver, PointsToResult
 
 
-class TransitiveSolver:
+class TransitiveSolver(BaseSolver):
     """Set-based worklist Andersen baseline."""
 
     name = "transitive"
 
     def __init__(self, store: ConstraintStore):
-        self.store = store
-        self.metrics = SolverMetrics()
+        super().__init__(store)
         self._pts: dict[str, set[str]] = {}
         self._delta: dict[str, set[str]] = {}
         self._succ: dict[str, set[str]] = {}  # src -> dsts (pts flows ->)
@@ -41,21 +39,13 @@ class TransitiveSolver:
         self._stores_on: dict[str, list[str]] = {}  # p -> [y : *p = y]
         self._worklist: deque[str] = deque()
         self._queued: set[str] = set()
-        self._linker = FunPtrLinker(store)
-        self._funcptrs: set[str] = set()
-        self._functions: set[str] = set()
         self._split_counter = 0
 
     # -- constraint intake ---------------------------------------------------
 
     def _ingest(self, kind: PrimitiveKind, dst: str, src: str) -> None:
-        obj = self.store.get_object(dst)
-        if obj is not None and not obj.may_point:
+        if not self._may_point_pair(kind, dst, src):
             return
-        if kind is not PrimitiveKind.ADDR:
-            sobj = self.store.get_object(src)
-            if sobj is not None and not sobj.may_point:
-                return
         if kind is PrimitiveKind.COPY:
             self._add_edge(src, dst)
         elif kind is PrimitiveKind.ADDR:
@@ -109,14 +99,7 @@ class TransitiveSolver:
     # -- solving ------------------------------------------------------------
 
     def solve(self) -> PointsToResult:
-        for a in self.store.static_assignments():
-            self._ingest(a.kind, a.dst, a.src)
-        for name in list(self.store.block_names()):
-            block = self.store.load_block(name)
-            if block is None:
-                continue
-            for a in block.assignments:
-                self._ingest(a.kind, a.dst, a.src)
+        self._ingest_all()
         self._collect_funcptrs()
 
         while self._worklist:
@@ -147,14 +130,7 @@ class TransitiveSolver:
         return self._result()
 
     def _collect_funcptrs(self) -> None:
-        for name in self.store.object_names():
-            obj = self.store.get_object(name)
-            if obj is None:
-                continue
-            if obj.is_funcptr:
-                self._funcptrs.add(name)
-            if obj.kind == ObjectKind.FUNCTION:
-                self._functions.add(name)
+        self._scan_functions()
         # Replay already-known targets for funcptrs discovered late.
         for fp in self._funcptrs:
             self._reprocess_pointer(fp)
@@ -165,18 +141,7 @@ class TransitiveSolver:
             for name, targets in self._pts.items()
             if not name.startswith("$sl")
         }
-        objects = {}
-        for name in pts:
-            obj = self.store.get_object(name)
-            if obj is not None:
-                objects[name] = obj
-        return PointsToResult(
-            solver=self.name,
-            pts=pts,
-            metrics=self.metrics,
-            load_stats=self.store.stats,
-            objects=objects,
-        )
+        return self._finalize(pts)
 
 
 def solve(store: ConstraintStore) -> PointsToResult:

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cfront.errors import LexError
-from repro.cfront.lexer import Token, TokenKind, tokenize_text
+from repro.cfront.lexer import TokenKind, tokenize_text
 
 
 def kinds(text):

@@ -1,8 +1,6 @@
 """Tests for expression and statement parsing."""
 
-import pytest
-
-from repro.cfront import ParseError, parse_c
+from repro.cfront import parse_c
 from repro.cfront import cast as A
 
 

@@ -1,12 +1,9 @@
 """Parser torture tests: the constructs that break naive C parsers."""
 
-import pytest
-
 from repro.cfront import (
     ArrayType,
     FunctionType,
     IntType,
-    ParseError,
     PointerType,
     StructType,
     parse_c,

@@ -1,7 +1,6 @@
 """Round-trip tests for the CLA binary object-file format, including
 property-based tests over randomly generated databases."""
 
-import os
 
 import pytest
 from hypothesis import given, settings

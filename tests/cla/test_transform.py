@@ -1,6 +1,5 @@
 """Tests for the database-to-database transformers (paper §4)."""
 
-import pytest
 
 from repro.cfront import parse_c
 from repro.cla.transform import (

@@ -1,5 +1,7 @@
 """Tests for the high-level pipeline API."""
 
+import pickle
+
 import pytest
 
 from repro.driver.api import (
@@ -42,6 +44,33 @@ class TestCompileSource:
         fi = compile_source(src, "a.c", CompileOptions(field_based=False))
         assert any(a.src == "S.f" for a in fb.assignments)
         assert any(a.src == "s" for a in fi.assignments)
+
+
+class TestCompileOptionsPickle:
+    def test_round_trip_preserves_fields(self):
+        options = CompileOptions(
+            include_dirs=["/usr/include"],
+            predefined={"FEATURE": "1"},
+            field_based=False,
+        )
+        clone = pickle.loads(pickle.dumps(options))
+        assert clone.include_dirs == options.include_dirs
+        assert clone.predefined == options.predefined
+        assert clone.field_based is False
+
+    def test_memoized_resolver_is_dropped(self, tmp_path):
+        (tmp_path / "defs.h").write_text("#define WIDTH 4\n")
+        options = CompileOptions(include_dirs=[str(tmp_path)])
+        options.resolver()  # memoize _resolver before pickling
+        assert "_resolver" in vars(options)
+        state = options.__getstate__()
+        assert "_resolver" not in state
+        clone = pickle.loads(pickle.dumps(options))
+        assert "_resolver" not in vars(clone)
+        # The clone rebuilds its resolver on demand and still compiles.
+        ir = compile_source('#include "defs.h"\nint arr[WIDTH];',
+                            "a.c", clone)
+        assert "arr" in ir.objects
 
 
 class TestProject:

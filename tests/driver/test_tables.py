@@ -1,6 +1,5 @@
 """Tests for the table-regeneration harness itself."""
 
-import pytest
 
 from repro.driver import tables
 

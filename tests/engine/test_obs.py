@@ -1,0 +1,187 @@
+"""Tests for the observability layer: spans, tracing, counters."""
+
+import json
+
+import pytest
+
+from repro.engine.obs import (
+    REGISTRY,
+    Counter,
+    MetricsRegistry,
+    Tracer,
+    TRACE_SCHEMA_VERSION,
+    measure,
+)
+
+
+class TestSpanNesting:
+    def test_nested_spans_form_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("compile", files=2):
+            with tracer.span("unit", file="a.c"):
+                pass
+            with tracer.span("unit", file="b.c"):
+                pass
+        with tracer.span("analyze", solver="pretransitive"):
+            pass
+        assert [r.name for r in tracer.roots] == ["compile", "analyze"]
+        compile_span = tracer.roots[0]
+        assert [c.name for c in compile_span.children] == ["unit", "unit"]
+        assert compile_span.children[0].attrs["file"] == "a.c"
+
+    def test_current_and_annotate(self):
+        tracer = Tracer()
+        assert tracer.current is None
+        with tracer.span("link") as span:
+            assert tracer.current is span
+            tracer.annotate(objects=7)
+        assert tracer.current is None
+        assert span.attrs["objects"] == 7
+        tracer.annotate(ignored=True)  # no open span: must not raise
+
+    def test_find_and_iter_spans_parents(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+        pairs = {s.name: (p.name if p else None)
+                 for s, p in tracer.iter_spans()}
+        assert pairs == {"a": None, "b": "a", "c": "b"}
+        assert [s.name for s in tracer.find("b")] == ["b"]
+
+    def test_exception_annotates_and_unwinds(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("boom")
+        assert tracer.current is None
+        inner = tracer.find("inner")[0]
+        assert "boom" in inner.attrs["error"]
+        assert inner.closed and tracer.find("outer")[0].closed
+
+
+class TestSpanTiming:
+    def test_timing_monotonicity(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                sum(range(10_000))
+        outer, inner = tracer.find("outer")[0], tracer.find("inner")[0]
+        assert outer.closed and inner.closed
+        assert inner.wall_seconds >= 0
+        assert outer.wall_seconds >= inner.wall_seconds
+        assert inner.start_wall >= outer.start_wall
+        assert inner.end_wall <= outer.end_wall
+        assert outer.user_seconds >= 0
+
+    def test_open_span_reports_live_duration(self):
+        tracer = Tracer()
+        ctx = tracer.span("open")
+        span = ctx.__enter__()
+        try:
+            assert not span.closed
+            assert span.wall_seconds >= 0
+        finally:
+            ctx.__exit__(None, None, None)
+        assert span.closed
+
+
+class TestTraceExport:
+    def test_to_dict_schema(self):
+        tracer = Tracer()
+        with tracer.span("compile", files=1):
+            with tracer.span("unit", file="a.c"):
+                pass
+        doc = tracer.to_dict(registry=MetricsRegistry())
+        assert doc["schema"] == TRACE_SCHEMA_VERSION
+        assert isinstance(doc["counters"], dict)
+        (root,) = doc["trace"]
+        assert root["name"] == "compile"
+        assert root["attrs"] == {"files": 1}
+        assert root["children"][0]["name"] == "unit"
+        assert root["start_s"] == 0.0
+        assert root["wall_s"] >= root["children"][0]["wall_s"]
+
+    def test_write_json(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("analyze"):
+            pass
+        out = tmp_path / "trace.json"
+        tracer.write(str(out))
+        doc = json.loads(out.read_text())
+        assert doc["trace"][0]["name"] == "analyze"
+
+    def test_write_jsonl_parent_references(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        with tracer.span("c"):
+            pass
+        out = tmp_path / "trace.jsonl"
+        tracer.write_jsonl(str(out))
+        records = [json.loads(line) for line in out.read_text().splitlines()]
+        by_name = {r["name"]: r for r in records}
+        assert by_name["a"]["parent"] is None
+        assert by_name["b"]["parent"] == by_name["a"]["id"]
+        assert by_name["c"]["parent"] is None
+        assert all("children" not in r for r in records)
+
+
+class TestCounters:
+    def test_counter_is_monotonic(self):
+        c = Counter("x")
+        assert c.add() == 1
+        assert c.add(4) == 5
+        with pytest.raises(ValueError):
+            c.add(-1)
+        assert c.value == 5
+
+    def test_registry_snapshot_only_nonzero_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("zeta").add(2)
+        reg.counter("alpha").add(1)
+        reg.counter("never")  # stays zero
+        assert list(reg.snapshot().items()) == [("alpha", 1), ("zeta", 2)]
+
+    def test_reset_keeps_handles_live(self):
+        reg = MetricsRegistry()
+        handle = reg.counter("cla.test")
+        handle.add(3)
+        reg.reset()
+        assert reg.snapshot() == {}
+        handle.add(2)  # the module-level-handle pattern must survive reset
+        assert reg.snapshot() == {"cla.test": 2}
+        assert reg.counter("cla.test") is handle
+
+    def test_process_registry_feeds_load_accounting(self):
+        from repro.cla.store import MemoryStore
+        from repro.driver.api import compile_source
+
+        REGISTRY.reset()
+        unit = compile_source("int x, *p; void f(void){ p = &x; *p = 1; }")
+        store = MemoryStore(unit)
+        store.static_assignments()
+        for name in list(store.block_names()):
+            store.load_block(name)
+        snap = REGISTRY.snapshot()
+        assert snap.get("cla.assignments_loaded", 0) >= store.stats.loaded
+        assert store.stats.blocks_loaded > 0
+        assert snap.get("cla.blocks_loaded", 0) >= store.stats.blocks_loaded
+
+
+class TestMetricsShim:
+    def test_shim_reexports_engine_obs(self):
+        import repro.metrics as shim
+        from repro.engine import obs
+
+        assert shim.measure is obs.measure
+        assert shim.Measurement is obs.Measurement
+        assert shim.format_table is obs.format_table
+
+    def test_measure_still_works(self):
+        m = measure(lambda: 21 * 2)
+        assert m.result == 42
+        assert m.real_seconds >= 0

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.ir import assignment_mix
-from repro.synth import BENCHMARK_ORDER, PROFILES, SynthProfile, generate, get_profile
+from repro.synth import BENCHMARK_ORDER, PROFILES, generate, get_profile
 
 
 class TestProfiles:

@@ -14,7 +14,6 @@ from repro.depend import DependenceAnalysis, render_chain
 from repro.driver.api import (
     Project,
     analyze_database,
-    compile_to_object,
     link_objects,
     CompileOptions,
 )
