@@ -85,6 +85,40 @@ def test_subquadratic_growth(benchmark, report):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
 
 
+def test_diff_propagation_pays_off_at_scale(benchmark, report):
+    """Difference propagation cuts (constraint, lval) edge-add attempts on
+    a realistic profile, not just the adversarial ladder kernel — with
+    byte-identical points-to sets."""
+    scale = SCALES[1]
+    runs = {}
+    for diff in (True, False):
+        store = MemoryStore(units_at(scale))
+        solver = PreTransitiveSolver(store, enable_diff_propagation=diff)
+        result = solver.solve()
+        runs[diff] = (
+            {k: v for k, v in result.pts.items() if v},
+            solver.metrics.delta_lvals_processed,
+            solver.metrics.lvals_skipped_by_diff,
+        )
+    pts_on, processed_on, skipped_on = runs[True]
+    pts_off, processed_off, _ = runs[False]
+    assert pts_on == pts_off, "diff propagation changed the fixpoint"
+    assert processed_on < processed_off, (
+        f"diff propagation saved nothing: {processed_on} vs {processed_off}"
+    )
+    benchmark.extra_info.update({
+        "delta_lvals_processed_on": processed_on,
+        "delta_lvals_processed_off": processed_off,
+        "lvals_skipped_by_diff": skipped_on,
+    })
+    report.append(
+        f"[scaling] {PROFILE}@{scale:g}: diff propagation cuts lvals "
+        f"processed {processed_off} -> {processed_on} "
+        f"(skipped {skipped_on}), identical points-to sets"
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
 def test_demand_fraction_stable(benchmark, report):
     """Loaded/in-file fraction should not degrade with size (demand
     loading keeps paying off at scale, as in the paper's Table 3)."""

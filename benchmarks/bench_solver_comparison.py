@@ -12,6 +12,7 @@ paper's §3/§6 narrative and the numbers it cites from the literature:
 * the subset-based solvers agree exactly; Steensgaard is a superset.
 """
 
+import os
 import time
 
 import pytest
@@ -20,7 +21,14 @@ from conftest import fresh_store, profile_scale
 from repro.solvers import SOLVERS
 from repro.synth import BENCHMARK_ORDER
 
-PROFILES = ["nethack", "vortex", "emacs", "gcc"]
+#: ``REPRO_BENCH_PROFILES=nethack,emacs`` restricts the sweep (CI smoke
+#: runs a single small profile).
+PROFILES = [
+    p for p in (
+        os.environ.get("REPRO_BENCH_PROFILES", "nethack,vortex,emacs,gcc")
+        .split(",")
+    ) if p
+]
 
 
 @pytest.mark.parametrize("profile", PROFILES)

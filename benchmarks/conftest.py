@@ -21,6 +21,9 @@ _CACHE: dict[tuple, object] = {}
 
 
 def profile_scale(name: str) -> float:
+    override = os.environ.get("REPRO_BENCH_SCALE")
+    if override:
+        return float(override)
     return DEFAULT_SCALES.get(name, 0.1)
 
 

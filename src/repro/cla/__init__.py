@@ -9,7 +9,7 @@
 """
 
 from .linker import LinkError, link_object_files, link_units, link_units_in_memory
-from .objfile import FormatError, name_hash
+from .objfile import ClaFormatError, FormatError, name_hash
 from .reader import DatabaseStore, ObjectFileReader
 from .store import (
     Block,
@@ -23,7 +23,7 @@ from .writer import ObjectFileWriter, write_unit
 
 __all__ = [
     "LinkError", "link_object_files", "link_units", "link_units_in_memory",
-    "FormatError", "name_hash",
+    "ClaFormatError", "FormatError", "name_hash",
     "DatabaseStore", "ObjectFileReader",
     "Block", "ConstraintStore", "LoadStats", "MemoryStore",
     "simple_name_of", "trigger_object",

@@ -131,5 +131,13 @@ class StringReader:
         return s
 
 
-class FormatError(Exception):
-    """The file is not a valid CLA database."""
+class ClaFormatError(Exception):
+    """The file is not a valid CLA database.
+
+    Raised with the offending path in the message; the CLI renders it as
+    a one-line error instead of a traceback.
+    """
+
+
+#: Historical name; kept so existing ``except FormatError`` sites work.
+FormatError = ClaFormatError

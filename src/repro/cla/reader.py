@@ -39,19 +39,47 @@ class ObjectFileReader:
             self._map = mmap.mmap(self._file.fileno(), 0, access=mmap.ACCESS_READ)
         except ValueError:
             self._file.close()
-            raise F.FormatError(f"{path}: empty or unmappable file") from None
+            raise F.ClaFormatError(
+                f"{path}: empty or unmappable file"
+            ) from None
+        # Validate size / magic / version / section bounds up front, so a
+        # truncated or corrupt database fails with one clear error instead
+        # of a struct.error from whichever unpack happens to fall off the
+        # end of the map first.
+        file_size = len(self._map)
+        if file_size < F.HEADER.size:
+            self.close()
+            raise F.ClaFormatError(
+                f"{path}: truncated header ({file_size} bytes, "
+                f"CLA header is {F.HEADER.size})"
+            )
         header = F.HEADER.unpack_from(self._map, 0)
         magic, version, self.flags, nsections, _r32, self.source_lines, _r64 = header
         if magic != F.MAGIC:
             self.close()
-            raise F.FormatError(f"{path}: bad magic {magic!r}")
+            raise F.ClaFormatError(f"{path}: bad magic {magic!r}")
         if version != F.VERSION:
             self.close()
-            raise F.FormatError(f"{path}: unsupported version {version}")
+            raise F.ClaFormatError(f"{path}: unsupported version {version}")
+        table_end = F.HEADER.size + nsections * F.SECTION_ENTRY.size
+        if table_end > file_size:
+            self.close()
+            raise F.ClaFormatError(
+                f"{path}: truncated section table "
+                f"({nsections} sections claimed, {file_size} bytes)"
+            )
         self.sections: dict[bytes, tuple[int, int]] = {}
         pos = F.HEADER.size
         for _ in range(nsections):
             tag, offset, size = F.SECTION_ENTRY.unpack_from(self._map, pos)
+            if offset + size > file_size:
+                tag_name = tag.rstrip(b"\x00").decode("ascii", "replace")
+                self.close()
+                raise F.ClaFormatError(
+                    f"{path}: section {tag_name!r} out of bounds "
+                    f"(offset={offset} size={size}, file is "
+                    f"{file_size} bytes)"
+                )
             self.sections[tag] = (offset, size)
             pos += F.SECTION_ENTRY.size
         str_off, str_size = self.sections.get(F.SEC_STRTAB, (0, 0))

@@ -23,6 +23,7 @@ import argparse
 import os
 import sys
 
+from ..cla.objfile import ClaFormatError
 from ..cla.reader import ObjectFileReader
 from ..depend.chains import render_all, summarize
 from ..engine.obs import REGISTRY, Tracer, human_count, measure
@@ -91,6 +92,15 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="print the points-to set of this object")
     p.add_argument("--no-demand", action="store_true",
                    help="preload the whole database (pretransitive only)")
+    p.add_argument("--no-diff", action="store_true",
+                   help="disable difference propagation "
+                        "(pretransitive only; ablation)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the per-round lval cache "
+                        "(pretransitive only; ablation)")
+    p.add_argument("--no-cycle-elim", action="store_true",
+                   help="disable complete cycle elimination "
+                        "(pretransitive only; ablation)")
     p.add_argument("--top", type=int, default=0,
                    help="print the N largest points-to sets")
     p.add_argument("--dot", dest="dot_out", metavar="FILE",
@@ -240,13 +250,28 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print("error: analyze takes one database or a set of .c sources",
               file=sys.stderr)
         return 2
+    # Map the pretransitive-only toggles; passing one alongside another
+    # solver is an error, not a silent no-op.
+    toggles = [
+        ("--no-demand", args.no_demand, "demand_load", False),
+        ("--no-diff", args.no_diff, "enable_diff_propagation", False),
+        ("--no-cache", args.no_cache, "enable_cache", False),
+        ("--no-cycle-elim", args.no_cycle_elim,
+         "enable_cycle_elimination", False),
+    ]
+    used = [flag for flag, on, _kw, _v in toggles if on]
+    if used and args.solver != "pretransitive":
+        print(
+            f"error: {', '.join(used)} only applies to the pretransitive "
+            f"solver (got --solver {args.solver})",
+            file=sys.stderr,
+        )
+        return 2
     tracer = Tracer()
     pipeline = Pipeline(tracer=tracer)
     store = None
     try:
-        kwargs = {}
-        if args.solver == "pretransitive" and args.no_demand:
-            kwargs["demand_load"] = False
+        kwargs = {kw: value for _f, on, kw, value in toggles if on}
         with tracer.span("session", command="analyze"):
             if c_files:
                 sources = {}
@@ -519,8 +544,8 @@ def _bench_table(args: argparse.Namespace, kwargs: dict):
     elif args.table == "ablation":
         size = int(args.scale) if args.scale and args.scale > 1 else 500
         headers, rows = tables.ablation_rows(size=size)
-        title = (f"Ablation: caching & cycle elimination (§5), "
-                 f"kernel n={size}")
+        title = (f"Ablation: caching, cycle elimination & difference "
+                 f"propagation (§5), kernels n={size}")
     elif args.table == "solvers":
         headers, rows = tables.solver_rows(**kwargs)
         title = "Solver comparison"
@@ -577,7 +602,19 @@ _COMMANDS = {
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except ClaFormatError as exc:
+        # Corrupt/truncated database: one line, no traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        # Missing file, permission trouble, directory-instead-of-file …
+        # — every subcommand opens user-named paths, so render uniformly.
+        reason = exc.strerror or str(exc)
+        where = f"{exc.filename}: " if exc.filename else ""
+        print(f"error: {where}{reason}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -264,7 +264,7 @@ def table4_rows(
 
 
 # ---------------------------------------------------------------------------
-# §5 ablation: caching and cycle elimination
+# §5 ablation: caching, cycle elimination & difference propagation
 # ---------------------------------------------------------------------------
 
 
@@ -272,40 +272,69 @@ def ablation_rows(
     size: int = 500,
     **_ignored,
 ) -> tuple[list[str], list[list[str]]]:
-    """The ">50,000x" experiment (§5) on the getLvals blowup kernel.
+    """The ">50,000x" experiment (§5) plus the difference-propagation
+    ablation.
 
-    Runs the pre-transitive solver with each combination of the two
-    optimizations over :func:`repro.synth.kernels.ablation_kernel` and
-    reports wall time plus the deterministic traversal-work counter (node
-    expansions), whose growth is what extrapolates to the paper's figure.
+    Two kernels isolate the three optimizations:
+
+    * the getLvals *blowup* kernel shows caching + cycle elimination (the
+      paper's pair): wall time plus the deterministic traversal-work
+      counter (node expansions), whose growth extrapolates to the paper's
+      figure;
+    * the deref *ladder* kernel shows difference propagation: without it
+      every round re-walks every already-processed lval of every complex
+      assignment — the ``lvals processed`` column collapses from O(n^2)
+      to O(n) when the delta discipline is on.  (The ladder preloads:
+      demand loading would re-discover the rungs in benign dependency
+      order and hide the re-walk.)
+
+    Slowdown / work factors are relative to the all-on row of the same
+    kernel.
     """
-    from ..synth.kernels import ablation_kernel
+    from ..synth.kernels import ablation_kernel, diff_propagation_kernel
 
-    headers = ["cache", "cycle elim", "user time", "slowdown",
-               "traversal work", "work factor"]
+    headers = ["kernel", "cache", "cycle elim", "diff", "user time",
+               "slowdown", "traversal work", "work factor",
+               "lvals processed", "lvals skipped"]
+    #: (kernel, cache, cycles, diff, demand)
     configs = [
-        (True, True), (True, False), (False, True), (False, False),
+        ("blowup", True, True, True, True),
+        ("blowup", True, False, True, True),
+        ("blowup", False, True, True, True),
+        ("blowup", False, False, True, True),
+        ("ladder", True, True, True, False),
+        ("ladder", True, True, False, False),
     ]
     rows = []
-    baseline_time = None
-    baseline_work = None
-    for cache, cycles in configs:
-        store = ablation_kernel(size)
+    baselines: dict[str, tuple[float, int]] = {}
+    for kernel, cache, cycles, diff, demand in configs:
+        if kernel == "blowup":
+            store = ablation_kernel(size)
+        else:
+            store = diff_propagation_kernel(size)
         solver = PreTransitiveSolver(
-            store, enable_cache=cache, enable_cycle_elimination=cycles,
+            store,
+            enable_cache=cache,
+            enable_cycle_elimination=cycles,
+            enable_diff_propagation=diff,
+            demand_load=demand,
         )
         m = measure(solver.solve)
         work = solver.metrics.nodes_visited
-        if baseline_time is None:
-            baseline_time = max(m.user_seconds, 1e-6)
-            baseline_work = max(work, 1)
+        if kernel not in baselines:
+            baselines[kernel] = (max(m.user_seconds, 1e-6), max(work, 1))
+        baseline_time, baseline_work = baselines[kernel]
         rows.append([
+            kernel,
             "on" if cache else "off",
             "on" if cycles else "off",
+            "on" if diff else "off",
             f"{m.user_seconds:.3f}s",
             f"{m.user_seconds / baseline_time:.0f}x",
             str(work),
             f"{work / baseline_work:.0f}x",
+            str(solver.metrics.delta_lvals_processed),
+            str(solver.metrics.lvals_skipped_by_diff),
         ])
     return headers, rows
 

@@ -38,6 +38,10 @@ class SolverStats:
     lvals_cached: int = 0  # cache entries sealed
     cache_hits: int = 0
     cache_misses: int = 0
+    #: difference propagation (pre-transitive only): (constraint, lval)
+    #: pairs turned into edge-add attempts vs. skipped as already processed
+    delta_lvals_processed: int = 0
+    lvals_skipped_by_diff: int = 0
     #: CLA load accounting snapshot (Table 3's last three columns)
     blocks_loaded: int = 0
     assignments_in_core: int = 0
@@ -91,6 +95,8 @@ class SolverStats:
             f"lvals_cached={self.lvals_cached} "
             f"cache_hits={self.cache_hits} "
             f"cache_misses={self.cache_misses} "
+            f"delta_lvals_processed={self.delta_lvals_processed} "
+            f"lvals_skipped_by_diff={self.lvals_skipped_by_diff} "
             f"blocks_loaded={self.blocks_loaded} "
             f"in_core/loaded/in_file="
             f"{self.assignments_in_core}/{self.assignments_loaded}/"

@@ -26,7 +26,22 @@ practical (§5: turning both off slows gimp down by a factor "in excess of
   implementation recursed; Python cannot afford to on million-assignment
   graphs).
 
-Both optimizations are independently toggleable for the ablation bench.
+A third optimization goes beyond the paper: **difference propagation**.
+The Figure 5 loop re-walks every lval of every complex assignment each
+round, even lvals already turned into edges in earlier rounds.  Each
+complex assignment instead remembers the set of lval uids it has already
+processed and only handles ``getLvals(n) - seen`` per round — the lval
+sets are interned uid-frozensets, so the delta is one C-level set
+difference instead of a Python loop of duplicate edge-add attempts.
+Correctness is unaffected: for a given constraint the edge peer is fixed
+(``ny`` for ``*x = y``, ``n?y`` for ``x = *y``), so a (constraint, lval)
+pair only ever needs one edge add, and unification preserves the edge by
+merging successor sets.  Staleness repairs exactly like the caching
+optimization: lvals missing from a stale set are not in ``seen`` either,
+and the outer loop's change flag forces another round that picks them up.
+
+All three optimizations are independently toggleable for the ablation
+bench.
 
 Demand loading (§4): a dynamic block is loaded the first time its object
 participates in pointer flow — it gains base elements, gains an edge, or
@@ -82,19 +97,26 @@ class PreTransitiveSolver(BaseSolver):
         store: ConstraintStore,
         enable_cache: bool = True,
         enable_cycle_elimination: bool = True,
+        enable_diff_propagation: bool = True,
         demand_load: bool = True,
     ):
         super().__init__(store)
         self.enable_cache = enable_cache
         self.enable_cycle_elimination = enable_cycle_elimination
+        self.enable_diff_propagation = enable_diff_propagation
         self.demand_load = demand_load
 
         self._nodes: dict[str, _Node] = {}
         self._uid = 0
         self._uid_nodes: list["_Node | None"] = [None]  # uid -> node
-        #: complex assignments: ("store", p, y) for *p = y,
-        #: ("load", x, p) for x = *p.
-        self._complex: list[tuple[str, str, str]] = []
+        #: complex assignments, resolved to nodes at intake so the Figure 5
+        #: loop never round-trips through names.  Each entry is a mutable
+        #: ``[lval_node, peer_node, is_store, seen]`` record: lvals are
+        #: computed over ``lval_node``; edges run ``z -> peer`` for stores
+        #: (*x = y) and ``peer -> z`` for loads (x = *y); ``seen`` is the
+        #: set of lval object uids already turned into edges (difference
+        #: propagation).
+        self._complex: list[list] = []
         self._complex_keys: set[tuple[str, str, str]] = set()
         self._loaded: set[str] = set()
         self._load_queue: "deque[str]" = deque()
@@ -262,13 +284,19 @@ class PreTransitiveSolver(BaseSolver):
         if key in self._complex_keys:
             return
         self._complex_keys.add(key)
-        self._complex.append(key)
-        self._changed = True
         if kind == "load":
-            # x = *p: the edge nx -> n?p is added once, outside the loop
-            # (Figure 5, note on line 7).
-            self._add_edge(self._node(a), self._deref_node(b))
+            # x = *p: lvals over p, edges n?p -> nz.  The edge nx -> n?p is
+            # added once, outside the loop (Figure 5, note on line 7).
+            deref = self._deref_node(b)
+            self._complex.append([self._node(b), deref, False, set()])
+            self._changed = True
+            self._add_edge(self._node(a), deref)
             self._ensure_loaded(a)
+        else:
+            # *p = y: lvals over p, edges nz -> ny.
+            self._complex.append([self._node(a), self._node(b),
+                                  True, set()])
+            self._changed = True
         self._ensure_loaded(b)
 
     # ------------------------------------------------------------------
@@ -441,6 +469,8 @@ class PreTransitiveSolver(BaseSolver):
 
         self._scan_functions()
 
+        diff = self.enable_diff_propagation
+        stats = self.stats
         while True:
             self._round += 1
             self._cache_token = self._round
@@ -450,17 +480,37 @@ class PreTransitiveSolver(BaseSolver):
             # Index-based iteration: demand loading may append to C.
             i = 0
             while i < len(self._complex):
-                kind, a, b = self._complex[i]
+                entry = self._complex[i]
                 i += 1
-                if kind == "store":  # *a = b
-                    y_node = self._node(b)
-                    for z in self._lval_nodes(self._node(a)):
-                        if self._add_edge(z, y_node):
+                lval_node = entry[0]
+                if lval_node.skip is not None:
+                    entry[0] = lval_node = self._find(lval_node)
+                lvals = self._lvals(lval_node)
+                if diff:
+                    seen = entry[3]
+                    if seen:
+                        fresh = lvals - seen
+                        stats.lvals_skipped_by_diff += (
+                            len(lvals) - len(fresh)
+                        )
+                        if not fresh:
+                            continue
+                    else:
+                        fresh = lvals
+                    seen |= fresh
+                else:
+                    fresh = lvals
+                stats.delta_lvals_processed += len(fresh)
+                peer = entry[1]
+                if peer.skip is not None:
+                    entry[1] = peer = self._find(peer)
+                if entry[2]:  # store *a = b: edges z -> nb
+                    for z in self._nodes_of(fresh):
+                        if self._add_edge(z, peer):
                             self._ensure_loaded(z.name)
-                else:  # a = *b
-                    d_node = self._deref_node(b)
-                    for z in self._lval_nodes(self._node(b)):
-                        if self._add_edge(d_node, z):
+                else:  # load a = *b: edges n?b -> z
+                    for z in self._nodes_of(fresh):
+                        if self._add_edge(peer, z):
                             self._ensure_loaded(z.name)
             self._link_function_pointers()
             if not self._changed:
@@ -470,12 +520,12 @@ class PreTransitiveSolver(BaseSolver):
         self.store.discard(len(self._complex))
         return self._result()
 
-    def _lval_nodes(self, node: _Node) -> list[_Node]:
-        """getLvalsNodes(): de-skipped nodes of the lvals of ``node``."""
+    def _nodes_of(self, uids) -> list[_Node]:
+        """De-skipped graph nodes for a set of lval object uids."""
         obj_nodes = self._obj_nodes
         find = self._find
         out = []
-        for uid in self._lvals(node):
+        for uid in uids:
             cached = obj_nodes[uid]
             if cached is None:
                 cached = self._node(self._obj_names[uid])

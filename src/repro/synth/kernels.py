@@ -50,6 +50,44 @@ def ablation_kernel(n: int) -> MemoryStore:
     return MemoryStore(unit)
 
 
+def diff_propagation_kernel(n: int) -> MemoryStore:
+    """A deref ladder that isolates difference propagation.
+
+    ``x0 = &a1``, ``a_i = &a_{i+1}``, and ``n`` loads ``x_{i+1} = *x_i``:
+    rung ``i`` can only resolve after rung ``i - 1`` has.  The loads are
+    *emitted* top-of-ladder-first, so under full preloading (the blocks
+    ingest in emission order) every round processes the constraints in
+    anti-dependency order and round ``r`` is the first in which
+    ``getLvals(x_r)`` is non-empty — the fixpoint takes ~``n`` rounds.
+    Without difference propagation every round re-walks every
+    already-handled lval of every resolved rung, O(n^2) edge-add attempts
+    in total; with it each (constraint, lval) pair is processed exactly
+    once, O(n).  (Demand loading would re-discover the loads bottom-up
+    and defeat the adversarial order, so run this kernel with
+    ``demand_load=False``.)
+    """
+    unit = UnitIR(filename="ladder.c")
+
+    def obj(name: str) -> str:
+        unit.objects[name] = ProgramObject(name=name,
+                                           kind=ObjectKind.VARIABLE)
+        return name
+
+    def emit(kind: PrimitiveKind, dst: str, src: str) -> None:
+        unit.assignments.append(
+            PrimitiveAssignment(kind=kind, dst=dst, src=src)
+        )
+
+    xs = [obj(f"x{i}") for i in range(n + 1)]
+    cells = [obj(f"a{i}") for i in range(1, n + 2)]
+    for i in range(n - 1, -1, -1):
+        emit(PrimitiveKind.LOAD, xs[i + 1], xs[i])
+    emit(PrimitiveKind.ADDR, xs[0], cells[0])
+    for i in range(n):
+        emit(PrimitiveKind.ADDR, cells[i], cells[i + 1])
+    return MemoryStore(unit)
+
+
 def join_point_kernel(readers: int, lvals: int) -> MemoryStore:
     """The §5 join-point shape in isolation: one hub that ``lvals`` base
     elements flow into and ``readers`` pointers copy from.  Relations are

@@ -7,7 +7,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.cfront.source import Location
-from repro.cla.objfile import FormatError, name_hash
+from repro.cla import objfile as F
+from repro.cla.objfile import ClaFormatError, FormatError, name_hash
 from repro.cla.reader import DatabaseStore, ObjectFileReader
 from repro.cla.store import trigger_object
 from repro.cla.writer import ObjectFileWriter
@@ -246,6 +247,68 @@ class TestDatabaseStore:
 def test_name_hash_stable():
     assert name_hash("x") == name_hash("x")
     assert name_hash("x") != name_hash("y")
+
+
+class TestCorruptDatabases:
+    """Malformed files raise ClaFormatError with the path in the message —
+    never a bare struct.error from a short or garbage read."""
+
+    def valid_bytes(self, tmp_path) -> bytes:
+        w = ObjectFileWriter()
+        w.add_assignment(PrimitiveAssignment(
+            kind=PrimitiveKind.ADDR, dst="p", src="x"))
+        path = str(tmp_path / "valid.o")
+        w.write(path)
+        with open(path, "rb") as f:
+            return f.read()
+
+    def expect_format_error(self, path: str, fragment: str):
+        with pytest.raises(ClaFormatError) as excinfo:
+            ObjectFileReader(path)
+        message = str(excinfo.value)
+        assert path in message
+        assert fragment in message
+
+    def test_truncated_header(self, tmp_path):
+        path = str(tmp_path / "short.o")
+        with open(path, "wb") as f:
+            f.write(self.valid_bytes(tmp_path)[:7])
+        self.expect_format_error(path, "truncated header")
+
+    def test_truncated_section_table(self, tmp_path):
+        data = self.valid_bytes(tmp_path)
+        path = str(tmp_path / "cut.o")
+        with open(path, "wb") as f:
+            f.write(data[:F.HEADER.size + 4])
+        self.expect_format_error(path, "truncated section table")
+
+    def test_unsupported_version(self, tmp_path):
+        data = bytearray(self.valid_bytes(tmp_path))
+        data[4:6] = (99).to_bytes(2, "little")
+        path = str(tmp_path / "future.o")
+        with open(path, "wb") as f:
+            f.write(data)
+        self.expect_format_error(path, "version")
+
+    def test_section_out_of_bounds(self, tmp_path):
+        data = bytearray(self.valid_bytes(tmp_path))
+        # First section entry: tag(8) offset(8) size(8) after the header;
+        # blow up its size so offset + size overruns the file.
+        size_at = F.HEADER.size + 16
+        data[size_at:size_at + 8] = (1 << 40).to_bytes(8, "little")
+        path = str(tmp_path / "oob.o")
+        with open(path, "wb") as f:
+            f.write(data)
+        self.expect_format_error(path, "out of bounds")
+
+    def test_random_garbage(self, tmp_path):
+        path = str(tmp_path / "garbage.o")
+        with open(path, "wb") as f:
+            f.write(bytes(range(256)) * 2)
+        self.expect_format_error(path, "bad magic")
+
+    def test_legacy_alias_preserved(self):
+        assert FormatError is ClaFormatError
 
 
 # -- property-based round trip ------------------------------------------------

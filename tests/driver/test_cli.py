@@ -77,6 +77,67 @@ class TestAnalyze:
     def test_no_demand_flag(self, database, capsys):
         assert main(["analyze", database, "--no-demand"]) == 0
 
+    def test_no_diff_flag(self, database, capsys):
+        assert main(["analyze", database, "--no-diff", "--query", "q"]) == 0
+        assert "pts(q) = {x}" in capsys.readouterr().out
+
+    def test_stats_include_diff_counters(self, database, capsys):
+        assert main(["analyze", database, "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "delta_lvals_processed=" in out
+        assert "lvals_skipped_by_diff=" in out
+
+
+class TestCliFailureModes:
+    """Every database-opening subcommand fails with a one-line error and
+    exit code 2 — never a traceback (the ISSUE's three bugfixes)."""
+
+    def err(self, capsys):
+        err = capsys.readouterr().err
+        assert err.startswith("error: "), err
+        assert "Traceback" not in err
+        return err
+
+    @pytest.mark.parametrize("command", [
+        ["analyze"], ["depend", "--target", "x"], ["dump"],
+        ["callgraph"],
+    ])
+    def test_missing_database(self, command, tmp_path, capsys):
+        missing = str(tmp_path / "missing.cla")
+        assert main([command[0], missing] + command[1:]) == 2
+        assert missing in self.err(capsys)
+
+    def test_truncated_database(self, tmp_path, capsys):
+        bad = tmp_path / "bad.cla"
+        bad.write_bytes(b"short")
+        assert main(["analyze", str(bad)]) == 2
+        err = self.err(capsys)
+        assert "truncated header" in err and str(bad) in err
+
+    def test_corrupt_database(self, tmp_path, capsys):
+        bad = tmp_path / "garbage.cla"
+        bad.write_bytes(bytes(range(256)))
+        assert main(["analyze", str(bad)]) == 2
+        assert "bad magic" in self.err(capsys)
+
+    def test_pretransitive_toggle_rejected_for_other_solver(
+            self, database, capsys):
+        assert main(["analyze", database, "--solver", "steensgaard",
+                     "--no-demand"]) == 2
+        err = self.err(capsys)
+        assert "--no-demand" in err and "steensgaard" in err
+
+    def test_diff_toggle_rejected_for_other_solver(self, database, capsys):
+        assert main(["analyze", database, "--solver", "transitive",
+                     "--no-diff", "--no-cache"]) == 2
+        err = self.err(capsys)
+        assert "--no-diff" in err and "--no-cache" in err
+
+    def test_toggles_fine_with_explicit_pretransitive(self, database,
+                                                      capsys):
+        assert main(["analyze", database, "--solver", "pretransitive",
+                     "--no-diff", "--no-cycle-elim"]) == 0
+
 
 class TestDepend:
     def test_dependence_output(self, database, capsys):

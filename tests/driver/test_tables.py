@@ -87,11 +87,27 @@ class TestBuildDatabase:
 class TestAblationRows:
     def test_kernel_ablation(self):
         headers, rows = tables.ablation_rows(size=120)
-        assert len(rows) == 4
-        baseline = rows[0]
-        assert baseline[:2] == ["on", "on"]
-        degraded = rows[-1]
-        assert degraded[:2] == ["off", "off"]
+        assert headers[:4] == ["kernel", "cache", "cycle elim", "diff"]
+        blowup = [r for r in rows if r[0] == "blowup"]
+        assert len(blowup) == 4
+        baseline = blowup[0]
+        assert baseline[1:3] == ["on", "on"]
+        degraded = blowup[-1]
+        assert degraded[1:3] == ["off", "off"]
         # Work factor column shows the blowup deterministically.
-        work_factor = int(degraded[5].rstrip("x"))
+        work_factor = int(degraded[7].rstrip("x"))
         assert work_factor > 10
+
+    def test_diff_propagation_rows(self):
+        headers, rows = tables.ablation_rows(size=120)
+        ladder = {r[3]: r for r in rows if r[0] == "ladder"}
+        assert set(ladder) == {"on", "off"}
+        processed_on = int(ladder["on"][8])
+        processed_off = int(ladder["off"][8])
+        skipped_on = int(ladder["on"][9])
+        # Delta discipline: each (constraint, lval) pair processed once
+        # (O(n)) instead of once per round (O(n^2)).
+        assert processed_on == 120
+        assert processed_off > 4 * processed_on
+        assert skipped_on > 0
+        assert int(ladder["off"][9]) == 0

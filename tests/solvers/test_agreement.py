@@ -18,7 +18,12 @@ from hypothesis import strategies as st
 from repro.cla.store import MemoryStore
 from repro.ir.lower import UnitIR
 from repro.ir.objects import ObjectKind, ProgramObject
-from repro.ir.primitives import PrimitiveAssignment, PrimitiveKind
+from repro.ir.primitives import (
+    FunctionRecord,
+    IndirectCallRecord,
+    PrimitiveAssignment,
+    PrimitiveKind,
+)
 from repro.solvers import (
     BitVectorSolver,
     PreTransitiveSolver,
@@ -40,6 +45,45 @@ assignment = st.builds(
 
 constraint_systems = st.lists(assignment, min_size=1, max_size=25)
 
+# -- random systems with functions and indirect calls -----------------------
+#
+# Function objects carry a FunctionRecord (f$arg1/f$ret); funcptr objects
+# carry an IndirectCallRecord (<p>$arg1/<p>$ret).  Taking a function's
+# address and storing it through random pointer flow exercises the
+# analysis-time linking path (§4) in every solver.
+
+FUNC_NAMES = [f"f{i}" for i in range(3)]
+FUNCPTR_NAMES = [f"fp{i}" for i in range(2)]
+ARG_RET_NAMES = (
+    [f"{f}$arg1" for f in FUNC_NAMES] + [f"{f}$ret" for f in FUNC_NAMES]
+    + [f"<{p}>$arg1" for p in FUNCPTR_NAMES]
+    + [f"<{p}>$ret" for p in FUNCPTR_NAMES]
+)
+ALL_NAMES = VAR_NAMES + FUNC_NAMES + FUNCPTR_NAMES + ARG_RET_NAMES
+
+flow_name = st.sampled_from(VAR_NAMES + FUNCPTR_NAMES + ARG_RET_NAMES)
+
+#: Random flow among variables, funcptrs and standardized arg/ret vars.
+flow_assignment = st.builds(
+    PrimitiveAssignment,
+    kind=st.sampled_from(list(PrimitiveKind)),
+    dst=flow_name,
+    src=flow_name,
+)
+
+#: dst = &f for a function f — the seed that makes linking fire.
+take_address = st.builds(
+    PrimitiveAssignment,
+    kind=st.just(PrimitiveKind.ADDR),
+    dst=st.sampled_from(VAR_NAMES + FUNCPTR_NAMES),
+    src=st.sampled_from(FUNC_NAMES),
+)
+
+funcptr_systems = st.tuples(
+    st.lists(take_address, min_size=1, max_size=4),
+    st.lists(flow_assignment, min_size=1, max_size=20),
+).map(lambda pair: pair[0] + pair[1])
+
 
 def make_store(assignments) -> MemoryStore:
     unit = UnitIR(filename="synth.c")
@@ -51,8 +95,33 @@ def make_store(assignments) -> MemoryStore:
     return MemoryStore(unit)
 
 
-def pts_map(result):
-    return {name: result.points_to(name) for name in VAR_NAMES}
+def make_funcptr_store(assignments) -> MemoryStore:
+    unit = UnitIR(filename="synth_funcptr.c")
+    for name in VAR_NAMES + ARG_RET_NAMES:
+        unit.objects[name] = ProgramObject(
+            name=name, kind=ObjectKind.VARIABLE, may_point=True,
+        )
+    for name in FUNC_NAMES:
+        unit.objects[name] = ProgramObject(
+            name=name, kind=ObjectKind.FUNCTION, may_point=True,
+        )
+        unit.function_records[name] = FunctionRecord(
+            function=name, args=[f"{name}$arg1"], ret=f"{name}$ret",
+        )
+    for name in FUNCPTR_NAMES:
+        unit.objects[name] = ProgramObject(
+            name=name, kind=ObjectKind.VARIABLE, may_point=True,
+            is_funcptr=True,
+        )
+        unit.indirect_calls[name] = IndirectCallRecord(
+            pointer=name, args=[f"<{name}>$arg1"], ret=f"<{name}>$ret",
+        )
+    unit.assignments = list(assignments)
+    return MemoryStore(unit)
+
+
+def pts_map(result, names=VAR_NAMES):
+    return {name: result.points_to(name) for name in names}
 
 
 @settings(max_examples=200, deadline=None)
@@ -70,12 +139,14 @@ def test_pretransitive_toggles_agree(assignments):
     expected = pts_map(PreTransitiveSolver(make_store(assignments)).solve())
     for cache in (True, False):
         for cycles in (True, False):
-            result = PreTransitiveSolver(
-                make_store(assignments),
-                enable_cache=cache,
-                enable_cycle_elimination=cycles,
-            ).solve()
-            assert pts_map(result) == expected, (cache, cycles)
+            for diff in (True, False):
+                result = PreTransitiveSolver(
+                    make_store(assignments),
+                    enable_cache=cache,
+                    enable_cycle_elimination=cycles,
+                    enable_diff_propagation=diff,
+                ).solve()
+                assert pts_map(result) == expected, (cache, cycles, diff)
 
 
 @settings(max_examples=100, deadline=None)
@@ -151,3 +222,76 @@ def test_minimality_no_spurious_base_targets(assignments):
     }
     for name in VAR_NAMES:
         assert result.points_to(name) <= addr_targets
+
+
+# -- function-pointer linking -----------------------------------------------
+
+
+@settings(max_examples=100, deadline=None)
+@given(funcptr_systems)
+def test_subset_solvers_agree_with_funcptrs(assignments):
+    """Analysis-time linking of indirect calls preserves exact agreement
+    among the subset-based solvers."""
+    expected = pts_map(
+        PreTransitiveSolver(make_funcptr_store(assignments)).solve(),
+        ALL_NAMES,
+    )
+    for solver_cls in (TransitiveSolver, BitVectorSolver):
+        actual = pts_map(
+            solver_cls(make_funcptr_store(assignments)).solve(), ALL_NAMES,
+        )
+        assert actual == expected, solver_cls.name
+
+
+@settings(max_examples=50, deadline=None)
+@given(funcptr_systems)
+def test_pretransitive_toggles_agree_with_funcptrs(assignments):
+    """All eight toggle combinations agree on funcptr-linking systems."""
+    expected = pts_map(
+        PreTransitiveSolver(make_funcptr_store(assignments)).solve(),
+        ALL_NAMES,
+    )
+    for cache in (True, False):
+        for cycles in (True, False):
+            for diff in (True, False):
+                result = PreTransitiveSolver(
+                    make_funcptr_store(assignments),
+                    enable_cache=cache,
+                    enable_cycle_elimination=cycles,
+                    enable_diff_propagation=diff,
+                ).solve()
+                assert pts_map(result, ALL_NAMES) == expected, (
+                    cache, cycles, diff,
+                )
+
+
+@settings(max_examples=100, deadline=None)
+@given(funcptr_systems)
+def test_funcptr_linking_invariant(assignments):
+    """For each function f in pts(fp): formals absorb the call site's
+    actuals and the call site's return absorbs f's return (§4's linking
+    rule, at fixpoint)."""
+    result = PreTransitiveSolver(make_funcptr_store(assignments)).solve()
+    for p in FUNCPTR_NAMES:
+        for f in result.points_to(p):
+            if f not in FUNC_NAMES:
+                continue
+            assert (result.points_to(f"<{p}>$arg1")
+                    <= result.points_to(f"{f}$arg1")), (p, f)
+            assert (result.points_to(f"{f}$ret")
+                    <= result.points_to(f"<{p}>$ret")), (p, f)
+
+
+@settings(max_examples=100, deadline=None)
+@given(funcptr_systems)
+def test_steensgaard_superset_with_funcptrs(assignments):
+    andersen = pts_map(
+        PreTransitiveSolver(make_funcptr_store(assignments)).solve(),
+        ALL_NAMES,
+    )
+    steens = pts_map(
+        SteensgaardSolver(make_funcptr_store(assignments)).solve(),
+        ALL_NAMES,
+    )
+    for name in ALL_NAMES:
+        assert andersen[name] <= steens[name], name

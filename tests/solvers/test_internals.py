@@ -86,7 +86,47 @@ class TestEdgeBookkeeping:
             (K.ADDR, "p", "a"),
         ))
         s.solve()
-        assert s._complex.count(("load", "x", "p")) == 1
+        assert ("load", "x", "p") in s._complex_keys
+        assert len(s._complex) == 1
+
+
+class TestDifferencePropagation:
+    SYSTEM = (
+        (K.LOAD, "x", "p"),
+        (K.ADDR, "p", "a"),
+        (K.ADDR, "p", "b"),
+        (K.STORE, "p", "y"),
+        (K.ADDR, "y", "t"),
+    )
+
+    def test_seen_sets_record_processed_lvals(self):
+        s = PreTransitiveSolver(store_of(*self.SYSTEM))
+        s.solve()
+        # Every complex constraint's seen set holds the lval uids it has
+        # turned into edges: here pts(p) = {a, b} for both constraints.
+        for entry in s._complex:
+            assert len(entry[3]) == 2
+
+    def test_second_round_skips_processed_pairs(self):
+        s = PreTransitiveSolver(store_of(*self.SYSTEM))
+        s.solve()
+        assert s.metrics.lvals_skipped_by_diff > 0
+        processed = s.metrics.delta_lvals_processed
+        # Each (constraint, lval) pair was processed exactly once.
+        assert processed == sum(len(e[3]) for e in s._complex)
+
+    def test_disabled_reprocesses_every_round(self):
+        on = PreTransitiveSolver(store_of(*self.SYSTEM))
+        on.solve()
+        off = PreTransitiveSolver(store_of(*self.SYSTEM),
+                                  enable_diff_propagation=False)
+        off.solve()
+        assert off.metrics.lvals_skipped_by_diff == 0
+        assert off.metrics.delta_lvals_processed > (
+            on.metrics.delta_lvals_processed
+        )
+        # Seen sets stay empty when the discipline is off.
+        assert all(not e[3] for e in off._complex)
 
 
 class TestLvalInterning:
