@@ -61,6 +61,8 @@ def pytest_sessionfinish(session, exitstatus):
     for bench in bench_session.benchmarks:
         module_path = bench.fullname.split("::")[0]
         suite = os.path.splitext(os.path.basename(module_path))[0]
+        # bench_scaling.py -> BENCH_scaling.json, not BENCH_bench_….
+        suite = suite.removeprefix("bench_")
         entry = bench.as_dict(include_data=False)
         by_suite.setdefault(suite, {})[bench.name] = {
             "stats": {k: entry["stats"][k]

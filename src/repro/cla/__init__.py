@@ -6,8 +6,11 @@
 * :mod:`repro.cla.linker` — merges object files into an executable database.
 * :mod:`repro.cla.store` — the ConstraintStore interface solvers consume,
   with in-memory and on-disk implementations sharing load accounting.
+* :mod:`repro.cla.cache` — the keep-or-discard block cache bounding
+  analyze-phase memory (§4's discard-and-reload strategy).
 """
 
+from .cache import BlockCache, wrap_store
 from .linker import LinkError, link_object_files, link_units, link_units_in_memory
 from .objfile import ClaFormatError, FormatError, name_hash
 from .reader import DatabaseStore, ObjectFileReader
@@ -22,6 +25,7 @@ from .store import (
 from .writer import ObjectFileWriter, write_unit
 
 __all__ = [
+    "BlockCache", "wrap_store",
     "LinkError", "link_object_files", "link_units", "link_units_in_memory",
     "ClaFormatError", "FormatError", "name_hash",
     "DatabaseStore", "ObjectFileReader",

@@ -34,10 +34,12 @@ class ObjectFileReader:
 
     def __init__(self, path: str):
         self.path = path
+        self._closed = False
         self._file = open(path, "rb")
         try:
             self._map = mmap.mmap(self._file.fileno(), 0, access=mmap.ACCESS_READ)
         except ValueError:
+            self._closed = True
             self._file.close()
             raise F.ClaFormatError(
                 f"{path}: empty or unmappable file"
@@ -95,8 +97,17 @@ class ObjectFileReader:
         return bool(self.flags & F.FLAG_LINKED)
 
     def close(self) -> None:
+        """Release the map and file handle.  Idempotent: error paths and
+        context managers may both close the same reader."""
+        if self._closed:
+            return
+        self._closed = True
         self._map.close()
         self._file.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     def __enter__(self) -> "ObjectFileReader":
         return self
@@ -344,26 +355,48 @@ class ObjectFileReader:
 class DatabaseStore:
     """ConstraintStore over an :class:`ObjectFileReader` with accounting.
 
-    Counts every block parse as a load (re-reads included — they are real
-    I/O in the discard-and-reload strategy) and tracks ``in_core`` through
-    :meth:`discard` reports from the analyzer.
+    Every :meth:`load_block` call physically re-parses from the map (the
+    reader keeps nothing); the *accounting* follows the protocol contract:
+    a block's assignments count into ``loaded``/``in_core`` exactly once,
+    and each re-read counts into ``reloads`` — it is real I/O under the
+    discard-and-reload strategy, but not new coverage or residency, so
+    ``in_core <= loaded <= in_file`` holds at all times.  The analyzer's
+    :meth:`discard` report then shrinks ``in_core`` to what it retained.
+    Wrap the store in :class:`repro.cla.cache.BlockCache` for an actual
+    keep-or-discard retention policy with exact residency accounting.
     """
 
     def __init__(self, reader: ObjectFileReader):
         self.reader = reader
         self.stats = LoadStats(in_file=reader.assignment_count())
         self._object_cache: dict[str, ProgramObject | None] = {}
+        self._statics: list[PrimitiveAssignment] | None = None
         self._statics_loaded = False
+        self._loaded_blocks: set[str] = set()
 
     @classmethod
     def open(cls, path: str) -> "DatabaseStore":
-        return cls(ObjectFileReader(path))
+        reader = ObjectFileReader(path)
+        try:
+            return cls(reader)
+        except Exception:
+            # The mmap succeeded but the store could not be built (e.g. a
+            # corrupt dynamic index found while counting assignments):
+            # never leak the map/file handle.
+            reader.close()
+            raise
 
     def close(self) -> None:
         self.reader.close()
 
+    def __enter__(self) -> "DatabaseStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     def static_assignments(self) -> list[PrimitiveAssignment]:
-        statics = self.reader.static_assignments()
+        statics = self.fetch_statics()
         if not self._statics_loaded:
             self._statics_loaded = True
             self.stats.count_load(len(statics), blocks=0)
@@ -372,10 +405,25 @@ class DatabaseStore:
     def load_block(self, name: str) -> Block | None:
         block = self.reader.load_block(name)
         if block is not None:
-            # Re-reads count again: they are real I/O in the
-            # discard-and-reload strategy.
-            self.stats.count_load(len(block.assignments))
+            n = len(block.assignments)
+            if name in self._loaded_blocks:
+                # Real I/O (the reader re-parsed), but the block's
+                # residency and coverage were already counted once.
+                self.stats.count_reload(n)
+            else:
+                self._loaded_blocks.add(name)
+                self.stats.count_load(n)
         return block
+
+    def fetch_block(self, name: str) -> Block | None:
+        """Uncounted parse — the :class:`BlockCache` accounting seam."""
+        return self.reader.load_block(name)
+
+    def fetch_statics(self) -> list[PrimitiveAssignment]:
+        """The static section, parsed once and memoized (uncounted)."""
+        if self._statics is None:
+            self._statics = self.reader.static_assignments()
+        return self._statics
 
     def object_names(self):
         return (obj.name for obj in self.reader.objects())

@@ -66,27 +66,96 @@ class Block:
 #: registry resets; see ``MetricsRegistry.reset``).
 _ASSIGNMENTS_LOADED = REGISTRY.counter("cla.assignments_loaded")
 _BLOCKS_LOADED = REGISTRY.counter("cla.blocks_loaded")
+_ASSIGNMENTS_RELOADED = REGISTRY.counter("cla.assignments_reloaded")
+_BLOCKS_RELOADED = REGISTRY.counter("cla.blocks_reloaded")
+_BLOCK_HITS = REGISTRY.counter("cla.block_cache.hits")
+_BLOCK_MISSES = REGISTRY.counter("cla.block_cache.misses")
+_BLOCK_EVICTIONS = REGISTRY.counter("cla.block_cache.evictions")
 
 
 @dataclass(slots=True)
 class LoadStats:
-    """Assignment accounting for Table 3's last three columns."""
+    """Assignment accounting for Table 3's last three columns.
+
+    ``loaded`` counts each block's assignments **once**, the first time the
+    block is materialised (the protocol's "counted once per block").
+    Re-reading a block after a discard is real I/O but not new coverage:
+    it counts into ``reloads``/``blocks_reloaded`` instead.  ``in_core``
+    tracks current residency (what is actually retained in memory right
+    now) and ``peak_in_core`` its high-water mark, so at every moment
+    ``in_core <= loaded <= in_file``.  The ``block_*`` fields are filled
+    by the keep-or-discard layer (:class:`repro.cla.cache.BlockCache`).
+    """
 
     in_file: int = 0  # total primitive assignments in the database
-    loaded: int = 0  # assignments materialised during the analysis
+    loaded: int = 0  # distinct assignments materialised (once per block)
     in_core: int = 0  # assignments currently retained in memory
-    blocks_loaded: int = 0  # dynamic blocks materialised (loads, not parses)
+    peak_in_core: int = 0  # high-water mark of in_core
+    reloads: int = 0  # assignments re-read after a discard (real I/O)
+    blocks_loaded: int = 0  # dynamic blocks materialised for the first time
+    blocks_reloaded: int = 0  # block re-parses (discard-and-reload events)
+    block_hits: int = 0  # block requests served from retained memory
+    block_misses: int = 0  # block requests that had to parse (load + reload)
+    block_evictions: int = 0  # blocks discarded to stay within the budget
 
     def snapshot(self) -> tuple[int, int, int]:
         return (self.in_core, self.loaded, self.in_file)
 
-    def count_load(self, assignments: int, blocks: int = 1) -> None:
-        """Record one load event, locally and in the process registry."""
-        self.loaded += assignments
+    # -- residency ---------------------------------------------------------
+
+    def gain_core(self, assignments: int) -> None:
+        """Assignments became resident (loaded or reloaded into core)."""
         self.in_core += assignments
+        if self.in_core > self.peak_in_core:
+            self.peak_in_core = self.in_core
+
+    def drop_core(self, assignments: int) -> None:
+        """Assignments left core (evicted or discarded)."""
+        self.in_core -= assignments
+
+    # -- load events -------------------------------------------------------
+
+    def count_load(
+        self, assignments: int, blocks: int = 1, retain: bool = True
+    ) -> None:
+        """Record one first-time load, locally and in the process registry.
+
+        ``retain=False`` records the coverage without the residency — the
+        paper's read-then-immediately-discard choice.
+        """
+        self.loaded += assignments
         self.blocks_loaded += blocks
+        if retain:
+            self.gain_core(assignments)
         _ASSIGNMENTS_LOADED.add(assignments)
         _BLOCKS_LOADED.add(blocks)
+
+    def count_reload(
+        self, assignments: int, blocks: int = 1, retain: bool = False
+    ) -> None:
+        """Record a re-read of an already-counted block (discard-and-reload)."""
+        self.reloads += assignments
+        self.blocks_reloaded += blocks
+        if retain:
+            self.gain_core(assignments)
+        _ASSIGNMENTS_RELOADED.add(assignments)
+        _BLOCKS_RELOADED.add(blocks)
+
+    # -- cache events ------------------------------------------------------
+
+    def count_hit(self, blocks: int = 1) -> None:
+        self.block_hits += blocks
+        _BLOCK_HITS.add(blocks)
+
+    def count_miss(self, blocks: int = 1) -> None:
+        self.block_misses += blocks
+        _BLOCK_MISSES.add(blocks)
+
+    def count_eviction(self, assignments: int, blocks: int = 1) -> None:
+        """A retained block was discarded to stay within the budget."""
+        self.block_evictions += blocks
+        self.drop_core(assignments)
+        _BLOCK_EVICTIONS.add(blocks)
 
 
 class ConstraintStore(Protocol):
@@ -102,8 +171,23 @@ class ConstraintStore(Protocol):
         """Demand-load one object's block (None if the object has none).
 
         Loading is counted once per block; repeated calls return the same
-        content without recounting.
+        content without recounting ``loaded``/``in_core`` — a store that
+        physically re-reads (the discard-and-reload strategy) reports the
+        repeat as ``reloads``, never as new in-core residency.
         """
+        ...
+
+    def fetch_block(self, name: str) -> Block | None:
+        """Raw, *uncounted* block access (None if the object has none).
+
+        The seam the keep-or-discard layer
+        (:class:`repro.cla.cache.BlockCache`) parses through so it can own
+        all accounting itself; analyses should call :meth:`load_block`.
+        """
+        ...
+
+    def fetch_statics(self) -> list[PrimitiveAssignment]:
+        """Raw, *uncounted* static-section access (cache-layer seam)."""
         ...
 
     def object_names(self) -> Iterable[str]:
@@ -223,6 +307,12 @@ class MemoryStore:
             self._loaded_blocks.add(name)
             self.stats.count_load(len(block.assignments))
         return block
+
+    def fetch_block(self, name: str) -> Block | None:
+        return self._blocks.get(name)
+
+    def fetch_statics(self) -> list[PrimitiveAssignment]:
+        return self._statics
 
     def object_names(self) -> Iterable[str]:
         return self.objects.keys()

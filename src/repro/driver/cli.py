@@ -23,6 +23,7 @@ import argparse
 import os
 import sys
 
+from ..cla.cache import wrap_store
 from ..cla.objfile import ClaFormatError
 from ..cla.reader import ObjectFileReader
 from ..depend.chains import render_all, summarize
@@ -101,6 +102,12 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-cycle-elim", action="store_true",
                    help="disable complete cycle elimination "
                         "(pretransitive only; ablation)")
+    p.add_argument("--max-core-assignments", type=int, default=None,
+                   metavar="N",
+                   help="bound in-core assignments to N via the "
+                        "keep-or-discard block cache (§4); evicted "
+                        "blocks are re-read on demand "
+                        "(default: unbounded, no cache)")
     p.add_argument("--top", type=int, default=0,
                    help="print the N largest points-to sets")
     p.add_argument("--dot", dest="dot_out", metavar="FILE",
@@ -124,6 +131,11 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--min-strength", default="weak",
                    choices=["weak", "strong", "direct"],
                    help="drop chains weaker than this (triage filter)")
+    p.add_argument("--max-core-assignments", type=int, default=None,
+                   metavar="N",
+                   help="bound in-core assignments to N via the "
+                        "keep-or-discard block cache (§4); the cache is "
+                        "shared across the analyze and depend phases")
     p.add_argument("--trace", dest="trace_out", metavar="FILE",
                    help="write the stage-span trace as JSON")
     p.add_argument("--stats", action="store_true",
@@ -172,13 +184,18 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "table",
         choices=["table1", "table2", "table3", "table4", "ablation",
-                 "solvers", "demand"],
+                 "solvers", "demand", "cache"],
     )
     p.add_argument("--scale", type=float, default=None,
                    help="override the per-profile default scale")
     p.add_argument("--seed", type=int, default=42)
     p.add_argument("--profile", action="append", default=None,
                    help="restrict to specific benchmark profiles")
+    p.add_argument("--max-core-assignments", type=int, default=None,
+                   metavar="N",
+                   help="run the table's analyses under a block-cache "
+                        "memory budget (table3/demand only; the cache "
+                        "table sweeps budgets itself)")
     p.add_argument("--trace", dest="trace_out", metavar="FILE",
                    help="write the bench-run trace as JSON")
     p.add_argument("--stats", action="store_true",
@@ -279,9 +296,13 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                     with open(path, "r", errors="replace") as f:
                         sources[path] = f.read()
                 units = pipeline.compile_units(sources)
-                store = pipeline.link_units(units)
+                store = wrap_store(
+                    pipeline.link_units(units), args.max_core_assignments
+                )
             else:
-                store = pipeline.open_database(args.inputs[0])
+                store = pipeline.open_database(
+                    args.inputs[0], args.max_core_assignments
+                )
             m = measure(
                 lambda: pipeline.analyze(store, args.solver, **kwargs)
             )
@@ -296,6 +317,14 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             f"assignments: in core={store.stats.in_core} "
             f"loaded={store.stats.loaded} in file={store.stats.in_file}"
         )
+        if args.max_core_assignments is not None:
+            st = store.stats
+            print(
+                f"cache: budget={args.max_core_assignments} "
+                f"peak in core={st.peak_in_core} reloads={st.reloads} "
+                f"hits={st.block_hits} misses={st.block_misses} "
+                f"evictions={st.block_evictions}"
+            )
         if args.stats:
             print(result.stats.render())
         for query in args.query:
@@ -331,6 +360,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                     "in_core": store.stats.in_core,
                     "loaded": store.stats.loaded,
                     "in_file": store.stats.in_file,
+                    "peak_in_core": store.stats.peak_in_core,
+                    "reloads": store.stats.reloads,
                 },
                 "points_to": {
                     name: sorted(targets)
@@ -357,7 +388,10 @@ def _cmd_depend(args: argparse.Namespace) -> int:
 
     tracer = Tracer()
     pipeline = Pipeline(tracer=tracer)
-    store = pipeline.open_database(args.database)
+    # One cache serves both phases: the depend phase re-requests blocks
+    # the analysis already touched, so retained blocks come back as hits
+    # instead of re-reads.
+    store = pipeline.open_database(args.database, args.max_core_assignments)
     try:
         threshold = Strength[args.min_strength.upper()]
         with tracer.span("session", command="depend"):
@@ -378,6 +412,14 @@ def _cmd_depend(args: argparse.Namespace) -> int:
             f"(direct={counts['direct']} strong={counts['strong']} "
             f"weak={counts['weak']}); blocks loaded: {result.blocks_loaded}"
         )
+        if args.max_core_assignments is not None:
+            st = store.stats
+            print(
+                f"cache: budget={args.max_core_assignments} "
+                f"peak in core={st.peak_in_core} reloads={st.reloads} "
+                f"hits={st.block_hits} misses={st.block_misses} "
+                f"evictions={st.block_evictions}"
+            )
         if args.stats:
             print(points_to.stats.render())
         if args.tree:
@@ -510,6 +552,16 @@ def _cmd_synth(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if (
+        args.max_core_assignments is not None
+        and args.table not in ("table3", "demand")
+    ):
+        print(
+            f"error: --max-core-assignments only applies to the table3 "
+            f"and demand tables (got {args.table})",
+            file=sys.stderr,
+        )
+        return 2
     tracer = Tracer()
     kwargs = {"scale": args.scale, "seed": args.seed}
     if args.profile:
@@ -536,7 +588,9 @@ def _bench_table(args: argparse.Namespace, kwargs: dict):
         headers, rows = tables.table2_rows(**kwargs)
         title = "Table 2: Benchmarks (synthetic, per-profile scale)"
     elif args.table == "table3":
-        headers, rows = tables.table3_rows(**kwargs)
+        headers, rows = tables.table3_rows(
+            max_core_assignments=args.max_core_assignments, **kwargs
+        )
         title = "Table 3: Results (field-based pre-transitive solver)"
     elif args.table == "table4":
         headers, rows = tables.table4_rows(**kwargs)
@@ -549,8 +603,13 @@ def _bench_table(args: argparse.Namespace, kwargs: dict):
     elif args.table == "solvers":
         headers, rows = tables.solver_rows(**kwargs)
         title = "Solver comparison"
+    elif args.table == "cache":
+        headers, rows = tables.cache_rows(**kwargs)
+        title = "Keep-or-discard block cache: memory budget sweep (§4)"
     else:
-        headers, rows = tables.demand_rows(**kwargs)
+        headers, rows = tables.demand_rows(
+            max_core_assignments=args.max_core_assignments, **kwargs
+        )
         title = "Demand loading vs full loading (§4)"
     return headers, rows, title
 

@@ -19,6 +19,7 @@ import tempfile
 
 from ..cfront.preprocessor import Preprocessor
 from ..cfront.source import SourceFile
+from ..cla.cache import BlockCache, wrap_store
 from ..cla.linker import link_object_files
 from ..cla.reader import DatabaseStore
 from ..cla.writer import ObjectFileWriter
@@ -187,10 +188,11 @@ def table3_rows(
     seed: int = 42,
     solver: str = "pretransitive",
     profiles: list[str] | None = None,
+    max_core_assignments: int | None = None,
 ) -> tuple[list[str], list[list[str]]]:
     headers = [
         "", "pointer", "points-to", "real", "user", "space",
-        "in core", "loaded", "in file",
+        "in core", "loaded", "in file", "peak core", "reloads",
         "paper:ptr", "paper:rel", "paper:utime",
     ]
     rows = []
@@ -199,7 +201,9 @@ def table3_rows(
             s = _profile_scale(name, scale)
             program = generate(name, scale=s, seed=seed)
             db_path = build_database(program, tmp)
-            store = DatabaseStore.open(db_path)
+            store = wrap_store(
+                DatabaseStore.open(db_path), max_core_assignments
+            )
             m = measure(lambda: analyze_store(store, solver))
             result = m.result
             paper = PAPER_TABLE3[name]
@@ -217,6 +221,8 @@ def table3_rows(
                 str(in_core),
                 str(loaded),
                 str(in_file),
+                str(result.stats.peak_in_core),
+                str(result.stats.assignments_reloaded),
                 str(paper[0]), human_count(paper[1]), f"{paper[2]:.2f}s",
             ])
             store.close()
@@ -290,28 +296,42 @@ def ablation_rows(
 
     Slowdown / work factors are relative to the all-on row of the same
     kernel.
+
+    The last two rows exercise the §4 keep-or-discard *block cache* on
+    the ladder kernel: after solving, every block is requested once more
+    (a depend-style second pass).  With an unbounded cache the second
+    pass is all hits; with budget 0 nothing is retained, so every
+    re-request is a re-read — the ``reloads`` column is the price of the
+    memory bound.
     """
     from ..synth.kernels import ablation_kernel, diff_propagation_kernel
 
     headers = ["kernel", "cache", "cycle elim", "diff", "user time",
                "slowdown", "traversal work", "work factor",
-               "lvals processed", "lvals skipped"]
-    #: (kernel, cache, cycles, diff, demand)
+               "lvals processed", "lvals skipped",
+               "block cache", "reloads"]
+    #: (kernel, cache, cycles, diff, demand, block_budget) where
+    #: block_budget is "off" (no BlockCache), "unbounded", or an int.
     configs = [
-        ("blowup", True, True, True, True),
-        ("blowup", True, False, True, True),
-        ("blowup", False, True, True, True),
-        ("blowup", False, False, True, True),
-        ("ladder", True, True, True, False),
-        ("ladder", True, True, False, False),
+        ("blowup", True, True, True, True, "off"),
+        ("blowup", True, False, True, True, "off"),
+        ("blowup", False, True, True, True, "off"),
+        ("blowup", False, False, True, True, "off"),
+        ("ladder", True, True, True, False, "off"),
+        ("ladder", True, True, False, False, "off"),
+        ("ladder+reuse", True, True, True, False, "unbounded"),
+        ("ladder+reuse", True, True, True, False, 0),
     ]
     rows = []
     baselines: dict[str, tuple[float, int]] = {}
-    for kernel, cache, cycles, diff, demand in configs:
-        if kernel == "blowup":
+    for kernel, cache, cycles, diff, demand, block_budget in configs:
+        if kernel.startswith("blowup"):
             store = ablation_kernel(size)
         else:
             store = diff_propagation_kernel(size)
+        if block_budget != "off":
+            budget = None if block_budget == "unbounded" else block_budget
+            store = BlockCache(store, budget)
         solver = PreTransitiveSolver(
             store,
             enable_cache=cache,
@@ -320,10 +340,18 @@ def ablation_rows(
             demand_load=demand,
         )
         m = measure(solver.solve)
+        if block_budget != "off":
+            # Depend-style reuse pass: re-request every block once.
+            for name in list(store.block_names()):
+                store.load_block(name)
+            solver.stats.absorb_load_stats(store.stats)
         work = solver.metrics.nodes_visited
-        if kernel not in baselines:
-            baselines[kernel] = (max(m.user_seconds, 1e-6), max(work, 1))
-        baseline_time, baseline_work = baselines[kernel]
+        baseline_key = kernel.split("+")[0]
+        if baseline_key not in baselines:
+            baselines[baseline_key] = (
+                max(m.user_seconds, 1e-6), max(work, 1)
+            )
+        baseline_time, baseline_work = baselines[baseline_key]
         rows.append([
             kernel,
             "on" if cache else "off",
@@ -335,6 +363,8 @@ def ablation_rows(
             f"{work / baseline_work:.0f}x",
             str(solver.metrics.delta_lvals_processed),
             str(solver.metrics.lvals_skipped_by_diff),
+            str(block_budget),
+            str(solver.metrics.assignments_reloaded),
         ])
     return headers, rows
 
@@ -377,8 +407,10 @@ def demand_rows(
     scale: float | None = None,
     seed: int = 42,
     profiles: list[str] | None = None,
+    max_core_assignments: int | None = None,
 ) -> tuple[list[str], list[list[str]]]:
-    headers = ["", "mode", "in core", "loaded", "in file", "user time"]
+    headers = ["", "mode", "in core", "loaded", "in file", "user time",
+               "peak core", "reloads"]
     rows = []
     with tempfile.TemporaryDirectory() as tmp:
         for name in profiles or ["nethack", "gcc", "gimp"]:
@@ -386,7 +418,9 @@ def demand_rows(
             program = generate(name, scale=s, seed=seed)
             db_path = build_database(program, tmp)
             for demand in (True, False):
-                store = DatabaseStore.open(db_path)
+                store = wrap_store(
+                    DatabaseStore.open(db_path), max_core_assignments
+                )
                 m = measure(
                     lambda: PreTransitiveSolver(
                         store, demand_load=demand
@@ -400,6 +434,75 @@ def demand_rows(
                     str(loaded),
                     str(in_file),
                     f"{m.user_seconds:.2f}s",
+                    str(m.result.stats.peak_in_core),
+                    str(m.result.stats.assignments_reloaded),
                 ])
                 store.close()
+    return headers, rows
+
+
+# ---------------------------------------------------------------------------
+# Keep-or-discard block cache: the §4 memory-budget sweep
+# ---------------------------------------------------------------------------
+
+
+def default_budget_sweep(statics: int, in_file: int) -> list[int | None]:
+    """Budget ladder for :func:`cache_rows`: unbounded, everything-fits,
+    a tight middle, and statics-only (retain no blocks at all).  All
+    budgets are >= the static section, which is a mandatory resident, so
+    ``peak_in_core <= budget`` holds for every bounded row."""
+    tight = statics + max(1, (in_file - statics) // 8)
+    return [None, in_file, tight, statics]
+
+
+def cache_rows(
+    scale: float | None = None,
+    seed: int = 42,
+    profiles: list[str] | None = None,
+    solver: str = "pretransitive",
+    budgets: list[int | None] | None = None,
+) -> tuple[list[str], list[list[str]]]:
+    """Solve + a depend-style reuse pass under a ladder of memory budgets.
+
+    The reuse pass re-requests every block once after the solve (what the
+    dependence analysis does when it walks loads).  An unbounded cache
+    answers the second pass from core; bounded budgets trade residency
+    for re-reads, and the ``reloads`` column is exactly that price.
+    """
+    headers = ["", "budget", "peak core", "in core", "loaded", "in file",
+               "reloads", "hits", "misses", "evictions", "user time"]
+    rows = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for name in profiles or ["lucent"]:
+            s = _profile_scale(name, scale)
+            program = generate(name, scale=s, seed=seed)
+            db_path = build_database(program, tmp)
+            with DatabaseStore.open(db_path) as probe:
+                statics = len(probe.fetch_statics())
+                in_file = probe.stats.in_file
+            sweep = (
+                budgets if budgets is not None
+                else default_budget_sweep(statics, in_file)
+            )
+            for budget in sweep:
+                with BlockCache(DatabaseStore.open(db_path),
+                                budget) as cache:
+                    m = measure(lambda: analyze_store(cache, solver))
+                    # Depend-style reuse: re-request every block once.
+                    for block_name in list(cache.block_names()):
+                        cache.load_block(block_name)
+                    st = cache.stats
+                    rows.append([
+                        f"{name}@{s:g}",
+                        "unbounded" if budget is None else str(budget),
+                        str(st.peak_in_core),
+                        str(st.in_core),
+                        str(st.loaded),
+                        str(st.in_file),
+                        str(st.reloads),
+                        str(st.block_hits),
+                        str(st.block_misses),
+                        str(st.block_evictions),
+                        f"{m.user_seconds:.2f}s",
+                    ])
     return headers, rows

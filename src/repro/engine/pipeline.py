@@ -28,6 +28,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from ..cfront import IncludeResolver, parse_c
+from ..cla.cache import BlockCache
 from ..cla.linker import link_object_files
 from ..cla.reader import DatabaseStore
 from ..cla.store import ConstraintStore, MemoryStore
@@ -291,8 +292,24 @@ class Pipeline:
 
     # -- analyze stage -------------------------------------------------------
 
-    def open_database(self, path: str) -> DatabaseStore:
-        return DatabaseStore.open(path)
+    def open_database(
+        self, path: str, max_core_assignments: int | None = None
+    ) -> ConstraintStore:
+        """Open a database, optionally behind a keep-or-discard cache.
+
+        With ``max_core_assignments`` set, the returned store is a
+        :class:`~repro.cla.cache.BlockCache` bounding analyze-phase
+        residency to that many assignments (§4's discard-and-reload
+        strategy); ``None`` returns the plain :class:`DatabaseStore`.
+        """
+        store = DatabaseStore.open(path)
+        if max_core_assignments is None:
+            return store
+        try:
+            return BlockCache(store, max_core_assignments)
+        except Exception:
+            store.close()
+            raise
 
     def analyze(
         self,
@@ -314,10 +331,14 @@ class Pipeline:
         return result
 
     def analyze_database(
-        self, path: str, solver: str = "pretransitive", **solver_kwargs
+        self,
+        path: str,
+        solver: str = "pretransitive",
+        max_core_assignments: int | None = None,
+        **solver_kwargs,
     ) -> PointsToResult:
         """Open a linked database and run a points-to analysis on it."""
-        store = self.open_database(path)
+        store = self.open_database(path, max_core_assignments)
         try:
             return self.analyze(store, solver, **solver_kwargs)
         finally:

@@ -47,6 +47,13 @@ class SolverStats:
     assignments_in_core: int = 0
     assignments_loaded: int = 0
     assignments_in_file: int = 0
+    #: keep-or-discard accounting (§4 discard-and-reload; filled when the
+    #: store re-reads blocks or a BlockCache sits in front of it)
+    assignments_reloaded: int = 0
+    peak_in_core: int = 0
+    block_hits: int = 0
+    block_misses: int = 0
+    block_evictions: int = 0
 
     @property
     def iterations(self) -> int:
@@ -59,6 +66,11 @@ class SolverStats:
         self.assignments_in_core = load_stats.in_core
         self.assignments_loaded = load_stats.loaded
         self.assignments_in_file = load_stats.in_file
+        self.assignments_reloaded = getattr(load_stats, "reloads", 0)
+        self.peak_in_core = getattr(load_stats, "peak_in_core", 0)
+        self.block_hits = getattr(load_stats, "block_hits", 0)
+        self.block_misses = getattr(load_stats, "block_misses", 0)
+        self.block_evictions = getattr(load_stats, "block_evictions", 0)
         return self
 
     def as_dict(self) -> dict[str, int | str]:
@@ -100,5 +112,9 @@ class SolverStats:
             f"blocks_loaded={self.blocks_loaded} "
             f"in_core/loaded/in_file="
             f"{self.assignments_in_core}/{self.assignments_loaded}/"
-            f"{self.assignments_in_file}"
+            f"{self.assignments_in_file} "
+            f"peak_in_core={self.peak_in_core} "
+            f"reloads={self.assignments_reloaded} "
+            f"block_hits/misses/evictions="
+            f"{self.block_hits}/{self.block_misses}/{self.block_evictions}"
         )

@@ -135,7 +135,11 @@ class BaseSolver:
 
         The transitively-closed baselines propagate eagerly and have no
         natural point to demand-load from (§4's contrast with prior
-        architectures), so they ingest the whole database up front.
+        architectures), so they ingest the whole database up front.  Each
+        block is requested exactly once, so even a tiny-budget
+        :class:`~repro.cla.cache.BlockCache` in front of the store keeps
+        ``in_core`` bounded here: blocks stream through the cache and are
+        evicted behind the scan.
         """
         for a in self.store.static_assignments():
             self._ingest(a.kind, a.dst, a.src)
@@ -162,7 +166,13 @@ class BaseSolver:
     def _finalize(self, pts: dict[str, frozenset[str]]) -> PointsToResult:
         """Build the result record: snapshot the CLA load accounting into
         the uniform stats, publish to the process registry, attach object
-        metadata."""
+        metadata.
+
+        The snapshot includes the keep-or-discard fields (reloads, peak
+        residency, cache hits/misses/evictions) so Table 3 and the
+        ``--stats`` line read one schema whether the store is plain or
+        wrapped in a :class:`~repro.cla.cache.BlockCache`.
+        """
         self.stats.absorb_load_stats(self.store.stats)
         self.stats.publish()
         objects = {}

@@ -226,6 +226,12 @@ class PreTransitiveSolver(BaseSolver):
         Loading one block can make further objects relevant; the cascade is
         drained iteratively through a queue — copy chains in real code
         bases are deeper than any recursion limit.
+
+        ``self._loaded`` guarantees the solver itself requests each block
+        at most once, so under a bounded
+        :class:`~repro.cla.cache.BlockCache` the solve phase never
+        reloads; re-reads come from later re-requests (function-pointer
+        record lookups, the depend phase) hitting evicted blocks.
         """
         if name in self._loaded:
             return
@@ -517,6 +523,10 @@ class PreTransitiveSolver(BaseSolver):
                 break
 
         self.metrics.constraints = len(self._complex)
+        # Report what the analyzer keeps (§4: complex assignments stay in
+        # core, simple ones are folded into the graph and dropped).  On a
+        # plain store this *is* the in-core figure; a BlockCache ignores
+        # the report because its residency accounting is already exact.
         self.store.discard(len(self._complex))
         return self._result()
 

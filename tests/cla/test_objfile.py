@@ -224,7 +224,7 @@ class TestObjects:
 
 
 class TestDatabaseStore:
-    def test_load_accounting(self, tmp_path):
+    def _database(self, tmp_path) -> str:
         w = ObjectFileWriter()
         w.add_assignment(PrimitiveAssignment(
             kind=PrimitiveKind.ADDR, dst="p", src="x"))
@@ -232,16 +232,57 @@ class TestDatabaseStore:
             kind=PrimitiveKind.COPY, dst="q", src="p"))
         path = str(tmp_path / "db.o")
         w.write(path)
-        store = DatabaseStore.open(path)
+        return path
+
+    def test_load_accounting(self, tmp_path):
+        store = DatabaseStore.open(self._database(tmp_path))
         assert store.stats.in_file == 2
         store.static_assignments()
         assert store.stats.loaded == 1
         store.load_block("p")
         assert store.stats.loaded == 2
-        # Re-reading after a discard is a real load (discard-and-reload).
+        assert store.stats.in_core == 2
+        # Re-reading is real I/O (the reader keeps nothing) but counts as
+        # a reload, never as new coverage or residency — otherwise
+        # in_core could exceed in_file.
         store.load_block("p")
-        assert store.stats.loaded == 3
+        assert store.stats.loaded == 2
+        assert store.stats.in_core == 2
+        assert store.stats.reloads == 1
+        assert store.stats.blocks_reloaded == 1
+        store.load_block("p")
+        assert store.stats.reloads == 2
+        assert store.stats.in_core <= store.stats.loaded <= store.stats.in_file
         store.close()
+
+    def test_static_assignments_memoized(self, tmp_path):
+        store = DatabaseStore.open(self._database(tmp_path))
+        first = store.static_assignments()
+        assert store.static_assignments() is first
+        assert store.fetch_statics() is first
+        # Counted once, no matter how often the section is consulted.
+        assert store.stats.loaded == 1
+        store.close()
+
+    def test_fetch_block_uncounted(self, tmp_path):
+        store = DatabaseStore.open(self._database(tmp_path))
+        block = store.fetch_block("p")
+        assert block is not None
+        assert store.stats.loaded == 0
+        assert store.stats.in_core == 0
+        store.close()
+
+    def test_close_idempotent(self, tmp_path):
+        store = DatabaseStore.open(self._database(tmp_path))
+        assert not store.reader.closed
+        store.close()
+        assert store.reader.closed
+        store.close()  # second close is a no-op, not a crash
+
+    def test_context_manager_closes(self, tmp_path):
+        with DatabaseStore.open(self._database(tmp_path)) as store:
+            reader = store.reader
+        assert reader.closed
 
 
 def test_name_hash_stable():

@@ -87,6 +87,21 @@ class TestAnalyzeSmoke:
         assert main(["analyze", a, database]) == 2
         assert "mix" in capsys.readouterr().err
 
+    def test_max_core_assignments_flag(self, database, capsys):
+        assert main(["analyze", database, "--query", "q",
+                     "--max-core-assignments", "2"]) == 0
+        out = capsys.readouterr().out
+        # Same analysis result under the memory bound …
+        assert "pts(q) = {x}" in out
+        # … plus the cache accounting line.
+        assert "cache: budget=2" in out
+        assert "reloads=" in out
+
+    def test_max_core_assignments_zero(self, database, capsys):
+        assert main(["analyze", database, "--query", "q",
+                     "--max-core-assignments", "0"]) == 0
+        assert "pts(q) = {x}" in capsys.readouterr().out
+
     def test_stats_flag(self, database, capsys):
         assert main(["analyze", database, "--stats"]) == 0
         out = capsys.readouterr().out
@@ -143,6 +158,13 @@ class TestDependSmoke:
         assert main(["depend", database, "--target", "nope"]) == 1
         assert "no object named" in capsys.readouterr().err
 
+    def test_depend_with_cache_budget(self, database, capsys):
+        assert main(["depend", database, "--target", "tgt",
+                     "--max-core-assignments", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "dependent objects" in out
+        assert "cache: budget=3" in out
+
 
 class TestCallgraphSmoke:
     def test_callgraph(self, database, capsys):
@@ -175,6 +197,24 @@ class TestBenchSmoke:
     def test_bench_table1(self, capsys):
         assert main(["bench", "table1"]) == 0
         assert "Classification" in capsys.readouterr().out
+
+    def test_bench_cache_table(self, capsys):
+        assert main(["bench", "cache", "--scale", "0.02",
+                     "--profile", "nethack"]) == 0
+        out = capsys.readouterr().out
+        assert "memory budget sweep" in out
+        assert "unbounded" in out
+
+    def test_bench_budget_flag_rejected_off_table(self, capsys):
+        assert main(["bench", "table1",
+                     "--max-core-assignments", "100"]) == 2
+        assert "--max-core-assignments" in capsys.readouterr().err
+
+    def test_bench_table3_with_budget(self, capsys):
+        assert main(["bench", "table3", "--scale", "0.02",
+                     "--profile", "nethack",
+                     "--max-core-assignments", "100000"]) == 0
+        assert "peak core" in capsys.readouterr().out
 
     def test_bench_trace_and_stats(self, tmp_path, capsys):
         trace = tmp_path / "bench.json"

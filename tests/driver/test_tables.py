@@ -51,6 +51,41 @@ class TestRowGenerators:
         for solver in SOLVERS:
             assert f"{solver}:utime" in headers
 
+    def test_table3_under_budget_bounds_peak(self):
+        budget = 100_000
+        headers, rows = tables.table3_rows(
+            scale=0.05, profiles=["nethack"], max_core_assignments=budget)
+        [row] = rows
+        in_core = int(row[headers.index("in core")])
+        loaded = int(row[headers.index("loaded")])
+        in_file = int(row[headers.index("in file")])
+        peak = int(row[headers.index("peak core")])
+        assert in_core <= loaded <= in_file
+        assert in_core <= peak <= budget
+
+    def test_cache_rows_budget_sweep(self):
+        headers, rows = tables.cache_rows(scale=0.05,
+                                          profiles=["nethack"])
+        assert len(rows) == 4
+        i_budget = headers.index("budget")
+        i_peak = headers.index("peak core")
+        i_reloads = headers.index("reloads")
+        assert rows[0][i_budget] == "unbounded"
+        # Unbounded: the depend-style reuse pass is all hits, no re-reads.
+        assert int(rows[0][i_reloads]) == 0
+        assert int(rows[0][headers.index("hits")]) > 0
+        for row in rows[1:]:
+            budget = int(row[i_budget])
+            assert int(row[i_peak]) <= budget
+            in_core = int(row[headers.index("in core")])
+            loaded = int(row[headers.index("loaded")])
+            in_file = int(row[headers.index("in file")])
+            assert in_core <= loaded <= in_file
+        # The statics-only budget retains no blocks: the reuse pass had
+        # to re-read more than any roomier budget did.
+        assert int(rows[-1][i_reloads]) >= int(rows[1][i_reloads])
+        assert int(rows[-1][i_reloads]) > 0
+
     def test_demand_rows_modes(self):
         headers, rows = tables.demand_rows(scale=0.05,
                                            profiles=["nethack"])
@@ -97,6 +132,21 @@ class TestAblationRows:
         # Work factor column shows the blowup deterministically.
         work_factor = int(degraded[7].rstrip("x"))
         assert work_factor > 10
+
+    def test_block_cache_rows(self):
+        headers, rows = tables.ablation_rows(size=120)
+        i_bc = headers.index("block cache")
+        i_reloads = headers.index("reloads")
+        cached = {r[i_bc]: r for r in rows if r[0] == "ladder+reuse"}
+        assert set(cached) == {"unbounded", "0"}
+        # Unbounded keeps everything: the reuse pass re-reads nothing.
+        assert int(cached["unbounded"][i_reloads]) == 0
+        # Budget 0 keeps nothing: every reuse re-request is a re-read.
+        assert int(cached["0"][i_reloads]) > 0
+        # Rows without a block cache report no reloads.
+        for r in rows:
+            if r[i_bc] == "off":
+                assert int(r[i_reloads]) == 0
 
     def test_diff_propagation_rows(self):
         headers, rows = tables.ablation_rows(size=120)

@@ -282,6 +282,30 @@ def test_funcptr_linking_invariant(assignments):
                     <= result.points_to(f"<{p}>$ret")), (p, f)
 
 
+@settings(max_examples=50, deadline=None)
+@given(funcptr_systems)
+def test_block_cache_budget_never_changes_results(assignments):
+    """The keep-or-discard cache (§4) is purely a memory/IO trade: the
+    solve under budget 0 (retain nothing), a small budget, and an
+    unbounded cache is bit-identical to the uncached solve, and bounded
+    residency never exceeds max(budget, statics)."""
+    from repro.cla.cache import BlockCache
+
+    expected = pts_map(
+        PreTransitiveSolver(make_funcptr_store(assignments)).solve(),
+        ALL_NAMES,
+    )
+    for budget in (0, 7, None):
+        cache = BlockCache(make_funcptr_store(assignments), budget)
+        result = PreTransitiveSolver(cache).solve()
+        assert pts_map(result, ALL_NAMES) == expected, budget
+        stats = cache.stats
+        assert stats.in_core <= stats.loaded <= stats.in_file
+        if budget is not None:
+            statics = len(cache.fetch_statics())
+            assert stats.peak_in_core <= max(budget, statics)
+
+
 @settings(max_examples=100, deadline=None)
 @given(funcptr_systems)
 def test_steensgaard_superset_with_funcptrs(assignments):
