@@ -119,6 +119,62 @@ def test_diff_propagation_pays_off_at_scale(benchmark, report):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
 
 
+def test_event_ledger_overhead(benchmark, report):
+    """The run ledger must be free when off and cheap when on.
+
+    Solvers guard every emission with ``if EVENTS:`` — a single truthiness
+    check on the sink list.  Off is the default bench path, so this guards
+    the acceptance bar directly: a sink-attached solve may not be more
+    than 50% slower than the unsinked solve, and the per-guard cost must
+    be far below anything a round could measure."""
+    from repro.engine.events import EVENTS, MemorySink
+
+    scale = SCALES[0]
+
+    def timed_solve():
+        store = MemoryStore(units_at(scale))
+        t0 = time.perf_counter()
+        PreTransitiveSolver(store).solve()
+        return time.perf_counter() - t0
+
+    assert not EVENTS, "a sink leaked into the bench process"
+    off = min(timed_solve() for _ in range(3))
+
+    sink = MemorySink()
+    EVENTS.add_sink(sink)
+    try:
+        on = min(timed_solve() for _ in range(3))
+    finally:
+        EVENTS.remove_sink(sink)
+
+    # Micro-measure the off-path guard itself: one falsy check.
+    checks = 100_000
+    t0 = time.perf_counter()
+    hits = sum(1 for _ in range(checks) if EVENTS)
+    per_check = (time.perf_counter() - t0) / checks
+    assert hits == 0
+
+    benchmark.extra_info.update({
+        "solve_off_s": round(off, 6),
+        "solve_on_s": round(on, 6),
+        "events_per_solve": len(sink.events) // 3,
+        "guard_ns": round(per_check * 1e9, 1),
+    })
+    report.append(
+        f"[scaling] event ledger: solve {off * 1e3:.1f}ms off vs "
+        f"{on * 1e3:.1f}ms with a sink "
+        f"({len(sink.events) // 3} events/solve, "
+        f"guard {per_check * 1e9:.0f}ns)"
+    )
+    assert per_check < 1e-6, (
+        f"events-off guard costs {per_check * 1e9:.0f}ns per check"
+    )
+    assert on <= off * 1.5 + 0.02, (
+        f"sink-attached solve too slow: {on:.3f}s vs {off:.3f}s off"
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
 def test_demand_fraction_stable(benchmark, report):
     """Loaded/in-file fraction should not degrade with size (demand
     loading keeps paying off at scale, as in the paper's Table 3)."""

@@ -34,6 +34,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Iterable
 
+from ..engine.events import EVENTS, BlockEvictEvent
 from ..ir.objects import ProgramObject
 from ..ir.primitives import PrimitiveAssignment
 from .store import Block, ConstraintStore, LoadStats
@@ -101,10 +102,16 @@ class BlockCache:
         while (
             self._retained_assignments + needed > allowance and self._blocks
         ):
-            _name, victim = self._blocks.popitem(last=False)
+            name, victim = self._blocks.popitem(last=False)
             n = len(victim.assignments)
             self._retained_assignments -= n
             self.stats.count_eviction(n)
+            if EVENTS:
+                EVENTS.emit(BlockEvictEvent(
+                    block=name, assignments=n,
+                    in_core=self.stats.in_core,
+                    evictions=self.stats.block_evictions,
+                ))
 
     # -- ConstraintStore interface ------------------------------------------
 
@@ -147,6 +154,12 @@ class BlockCache:
             # Too big to ever keep: discarded on arrival (the paper's
             # read-then-discard choice, at block granularity).
             self.stats.count_eviction(0)
+            if EVENTS:
+                EVENTS.emit(BlockEvictEvent(
+                    block=name, assignments=n,
+                    in_core=self.stats.in_core,
+                    evictions=self.stats.block_evictions,
+                ))
         return block
 
     def fetch_block(self, name: str) -> Block | None:

@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Protocol
 
+from ..engine.events import EVENTS, BlockLoadEvent, BlockReloadEvent
 from ..engine.obs import REGISTRY
 from ..ir.lower import UnitIR
 from ..ir.objects import ObjectKind, ProgramObject
@@ -129,6 +130,12 @@ class LoadStats:
             self.gain_core(assignments)
         _ASSIGNMENTS_LOADED.add(assignments)
         _BLOCKS_LOADED.add(blocks)
+        if EVENTS:
+            EVENTS.emit(BlockLoadEvent(
+                assignments=assignments, blocks=blocks,
+                in_core=self.in_core, loaded=self.loaded,
+                reloads=self.reloads,
+            ))
 
     def count_reload(
         self, assignments: int, blocks: int = 1, retain: bool = False
@@ -140,6 +147,12 @@ class LoadStats:
             self.gain_core(assignments)
         _ASSIGNMENTS_RELOADED.add(assignments)
         _BLOCKS_RELOADED.add(blocks)
+        if EVENTS:
+            EVENTS.emit(BlockReloadEvent(
+                assignments=assignments, blocks=blocks,
+                in_core=self.in_core, loaded=self.loaded,
+                reloads=self.reloads,
+            ))
 
     # -- cache events ------------------------------------------------------
 

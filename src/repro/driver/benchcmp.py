@@ -1,0 +1,149 @@
+"""BENCH-JSON comparison: the perf-regression gate.
+
+The bench suites emit ``BENCH_<suite>.json`` files (pytest-benchmark
+stats plus the process counter snapshot; see ``benchmarks/conftest.py``).
+``repro-cla bench compare BASE NEW`` diffs two of them and flags relative
+regressions, so CI can hold every PR against the committed smoke-scale
+baseline in ``benchmarks/baselines/``.
+
+The compared statistic is ``min`` — the least-noise estimator of the true
+cost of a benchmark (everything above the minimum is interference).  A
+benchmark regresses when ``new_min > base_min * (1 + threshold)``; the
+default threshold (15%) absorbs normal CI-runner jitter at smoke scale.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from dataclasses import dataclass
+from typing import TextIO
+
+from ..engine.obs import format_table
+
+BENCH_SCHEMA_VERSION = 1
+DEFAULT_THRESHOLD = 0.15
+
+
+def load_bench(path: str) -> dict:
+    """Load and validate one ``BENCH_*.json`` document."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or "benchmarks" not in doc:
+        raise ValueError(f"{path}: not a BENCH json (no 'benchmarks' key)")
+    schema = doc.get("schema")
+    if schema != BENCH_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: unsupported bench schema {schema!r} "
+            f"(expected {BENCH_SCHEMA_VERSION})"
+        )
+    return doc
+
+
+@dataclass(slots=True)
+class Delta:
+    """One benchmark's base-vs-new comparison."""
+
+    name: str
+    base_min: float | None  # None: benchmark absent from base
+    new_min: float | None  # None: benchmark absent from new
+    ratio: float | None  # new/base; None when either side is absent
+    status: str  # "ok" | "regression" | "improvement" | "added" | "removed"
+
+
+def compare_docs(
+    base: dict, new: dict, threshold: float = DEFAULT_THRESHOLD
+) -> list[Delta]:
+    """Compare two BENCH documents benchmark-by-benchmark.
+
+    ``threshold`` is the relative band around the baseline: beyond it in
+    either direction the delta is a regression or an improvement;
+    benchmarks present on only one side report as added/removed rather
+    than failing the gate (suites are allowed to grow).
+    """
+    base_b = base.get("benchmarks", {})
+    new_b = new.get("benchmarks", {})
+    deltas: list[Delta] = []
+    for name in sorted(set(base_b) | set(new_b)):
+        b, n = base_b.get(name), new_b.get(name)
+        if b is None:
+            deltas.append(Delta(name, None, n["stats"]["min"], None, "added"))
+            continue
+        if n is None:
+            deltas.append(Delta(name, b["stats"]["min"], None, None,
+                                "removed"))
+            continue
+        base_min = b["stats"]["min"]
+        new_min = n["stats"]["min"]
+        ratio = new_min / base_min if base_min > 0 else float("inf")
+        if new_min > base_min * (1.0 + threshold):
+            status = "regression"
+        elif new_min < base_min * (1.0 - threshold):
+            status = "improvement"
+        else:
+            status = "ok"
+        deltas.append(Delta(name, base_min, new_min, ratio, status))
+    return deltas
+
+
+def regressions(deltas: list[Delta]) -> list[Delta]:
+    return [d for d in deltas if d.status == "regression"]
+
+
+def _time(v: float | None) -> str:
+    if v is None:
+        return "-"
+    if v < 1e-3:
+        return f"{v * 1e6:.1f}us"
+    if v < 1.0:
+        return f"{v * 1e3:.2f}ms"
+    return f"{v:.3f}s"
+
+
+def render_compare(
+    deltas: list[Delta], threshold: float, title: str = ""
+) -> str:
+    rows = [
+        [
+            d.name,
+            _time(d.base_min),
+            _time(d.new_min),
+            f"{d.ratio:.2f}x" if d.ratio is not None else "-",
+            d.status,
+        ]
+        for d in deltas
+    ]
+    title = title or (
+        f"bench compare (min times, threshold {threshold:.0%})"
+    )
+    return format_table(
+        ["benchmark", "base", "new", "ratio", "status"], rows, title=title
+    )
+
+
+def run_compare(
+    base_path: str,
+    new_path: str,
+    threshold: float = DEFAULT_THRESHOLD,
+    warn_only: bool = False,
+    out: TextIO | None = None,
+) -> int:
+    """The CLI entry: compare, render, gate.
+
+    Returns 0 when no benchmark regressed (or ``warn_only`` is set, the
+    CI default while baselines season), 1 otherwise.
+    """
+    out = out if out is not None else sys.stdout
+    base, new = load_bench(base_path), load_bench(new_path)
+    deltas = compare_docs(base, new, threshold)
+    print(render_compare(deltas, threshold), file=out)
+    bad = regressions(deltas)
+    if bad:
+        names = ", ".join(d.name for d in bad)
+        verdict = "warning" if warn_only else "error"
+        print(f"{verdict}: {len(bad)} regression(s) beyond "
+              f"{threshold:.0%}: {names}", file=out)
+        return 0 if warn_only else 1
+    print(f"no regressions beyond {threshold:.0%} "
+          f"({len(deltas)} benchmarks compared)", file=out)
+    return 0

@@ -22,11 +22,13 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+from contextlib import contextmanager
 
 from ..cla.cache import wrap_store
 from ..cla.objfile import ClaFormatError
 from ..cla.reader import ObjectFileReader
 from ..depend.chains import render_all, summarize
+from ..engine.events import EVENTS, JsonlSink, ProgressSink
 from ..engine.obs import REGISTRY, Tracer, human_count, measure
 from ..engine.pipeline import Pipeline
 from ..solvers import SOLVERS
@@ -34,12 +36,32 @@ from . import tables
 from .api import CompileOptions, link_objects
 
 
-def _write_trace(tracer: Tracer, path: str) -> None:
-    """``--trace`` output: one JSON document, or JSONL when asked."""
-    if path.endswith(".jsonl"):
-        tracer.write_jsonl(path)
-    else:
-        tracer.write(path)
+@contextmanager
+def _event_sinks(events_out: str | None, progress: bool):
+    """Attach the requested ledger sinks to the process bus for one
+    command (``--events FILE`` and/or ``--progress``)."""
+    jsonl = JsonlSink(events_out) if events_out else None
+    sinks = [s for s in (
+        jsonl, ProgressSink() if progress else None
+    ) if s is not None]
+    for sink in sinks:
+        EVENTS.add_sink(sink)
+    try:
+        yield
+    finally:
+        for sink in sinks:
+            EVENTS.remove_sink(sink)
+        if jsonl is not None:
+            jsonl.close()
+
+
+def _add_ledger_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--events", dest="events_out", metavar="FILE",
+                   help="write the run ledger as JSONL "
+                        "(schema v1; see docs/OBSERVABILITY.md)")
+    p.add_argument("--progress", action="store_true",
+                   help="render live progress on stderr "
+                        "(phase, per-round solver deltas, cache pressure)")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -87,6 +109,10 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", dest="trace_out", metavar="FILE",
                    help="write the stage-span trace as JSON "
                         "(.jsonl for one span per line)")
+    _add_ledger_flags(p)
+    p.add_argument("--profile", dest="profile_out", metavar="FILE",
+                   help="cProfile the analyze phase to FILE (pstats "
+                        "format) and print the top hot functions")
     p.add_argument("--stats", action="store_true",
                    help="print the uniform solver stats line")
     p.add_argument("--query", action="append", default=[],
@@ -138,6 +164,7 @@ def _build_parser() -> argparse.ArgumentParser:
                         "shared across the analyze and depend phases")
     p.add_argument("--trace", dest="trace_out", metavar="FILE",
                    help="write the stage-span trace as JSON")
+    _add_ledger_flags(p)
     p.add_argument("--stats", action="store_true",
                    help="print the uniform solver stats line")
     p.add_argument("--json", dest="json_out", metavar="FILE",
@@ -180,12 +207,21 @@ def _build_parser() -> argparse.ArgumentParser:
                    default=0,
                    help="clone functions with 2..K call sites")
 
-    p = sub.add_parser("bench", help="regenerate a paper table")
+    p = sub.add_parser("bench", help="regenerate a paper table, or "
+                                     "compare two BENCH_*.json files")
     p.add_argument(
         "table",
         choices=["table1", "table2", "table3", "table4", "ablation",
-                 "solvers", "demand", "cache"],
+                 "solvers", "demand", "cache", "compare"],
     )
+    p.add_argument("paths", nargs="*", metavar="PATH",
+                   help="for compare: the BASE and NEW BENCH_*.json files")
+    p.add_argument("--threshold", type=float, default=0.15,
+                   help="compare: relative regression threshold "
+                        "on min times (default 0.15 = 15%%)")
+    p.add_argument("--warn-only", action="store_true",
+                   help="compare: report regressions but exit 0 "
+                        "(the CI soft-gate mode)")
     p.add_argument("--scale", type=float, default=None,
                    help="override the per-profile default scale")
     p.add_argument("--seed", type=int, default=42)
@@ -198,8 +234,23 @@ def _build_parser() -> argparse.ArgumentParser:
                         "table sweeps budgets itself)")
     p.add_argument("--trace", dest="trace_out", metavar="FILE",
                    help="write the bench-run trace as JSON")
+    _add_ledger_flags(p)
     p.add_argument("--stats", action="store_true",
                    help="print the process-wide metric counters")
+
+    p = sub.add_parser("report", help="render a run report from "
+                                      "trace/events/bench artifacts")
+    p.add_argument("--trace", dest="trace_in", metavar="FILE",
+                   help="a trace.json written by --trace")
+    p.add_argument("--events", dest="events_in", metavar="FILE",
+                   help="an events.jsonl written by --events")
+    p.add_argument("--bench", dest="bench_in", action="append",
+                   default=[], metavar="FILE",
+                   help="a BENCH_*.json file (repeatable)")
+    p.add_argument("--format", choices=["text", "markdown"],
+                   default="text", help="output format")
+    p.add_argument("-o", "--output", default="-",
+                   help="write the report to FILE ('-' = stdout)")
     return parser
 
 
@@ -289,7 +340,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     store = None
     try:
         kwargs = {kw: value for _f, on, kw, value in toggles if on}
-        with tracer.span("session", command="analyze"):
+        with _event_sinks(args.events_out, args.progress), \
+                tracer.span("session", command="analyze"):
             if c_files:
                 sources = {}
                 for path in c_files:
@@ -303,9 +355,16 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                 store = pipeline.open_database(
                     args.inputs[0], args.max_core_assignments
                 )
-            m = measure(
-                lambda: pipeline.analyze(store, args.solver, **kwargs)
+            run = lambda: pipeline.analyze(  # noqa: E731
+                store, args.solver, **kwargs
             )
+            if args.profile_out:
+                from ..engine.profiling import profiled
+
+                with profiled(args.profile_out):
+                    m = measure(run)
+            else:
+                m = measure(run)
         result = m.result
         print(
             f"solver={args.solver} pointers={result.pointer_variables()} "
@@ -325,6 +384,10 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                 f"hits={st.block_hits} misses={st.block_misses} "
                 f"evictions={st.block_evictions}"
             )
+        if args.profile_out:
+            from ..engine.profiling import render_hotspots
+
+            print(render_hotspots(args.profile_out))
         if args.stats:
             print(result.stats.render())
         for query in args.query:
@@ -377,7 +440,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     finally:
         # Written in finally so a failed run still leaves a partial trace.
         if args.trace_out:
-            _write_trace(tracer, args.trace_out)
+            tracer.write(args.trace_out)
         if store is not None and hasattr(store, "close"):
             store.close()
     return 0
@@ -394,7 +457,8 @@ def _cmd_depend(args: argparse.Namespace) -> int:
     store = pipeline.open_database(args.database, args.max_core_assignments)
     try:
         threshold = Strength[args.min_strength.upper()]
-        with tracer.span("session", command="depend"):
+        with _event_sinks(args.events_out, args.progress), \
+                tracer.span("session", command="depend"):
             points_to = pipeline.analyze(store, args.solver)
             try:
                 result = pipeline.depend(
@@ -459,7 +523,7 @@ def _cmd_depend(args: argparse.Namespace) -> int:
     finally:
         # Written in finally so a failed run still leaves a partial trace.
         if args.trace_out:
-            _write_trace(tracer, args.trace_out)
+            tracer.write(args.trace_out)
         store.close()
     return 0
 
@@ -552,6 +616,25 @@ def _cmd_synth(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.table == "compare":
+        if len(args.paths) != 2:
+            print("error: bench compare takes exactly two BENCH_*.json "
+                  "paths (BASE NEW)", file=sys.stderr)
+            return 2
+        from .benchcmp import run_compare
+
+        try:
+            return run_compare(
+                args.paths[0], args.paths[1],
+                threshold=args.threshold, warn_only=args.warn_only,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    if args.paths:
+        print(f"error: positional paths only apply to bench compare "
+              f"(got {args.table})", file=sys.stderr)
+        return 2
     if (
         args.max_core_assignments is not None
         and args.table not in ("table3", "demand")
@@ -567,12 +650,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.profile:
         kwargs["profiles"] = args.profile
     try:
-        with tracer.span("bench", table=args.table):
+        with _event_sinks(args.events_out, args.progress), \
+                tracer.span("bench", table=args.table):
             headers, rows, title = _bench_table(args, kwargs)
     finally:
         # Written in finally so a failed run still leaves a partial trace.
         if args.trace_out:
-            _write_trace(tracer, args.trace_out)
+            tracer.write(args.trace_out)
     print(tables.render(title, headers, rows))
     if args.stats:
         for name, value in REGISTRY.snapshot().items():
@@ -646,6 +730,31 @@ def _cmd_transform(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    if not (args.trace_in or args.events_in or args.bench_in):
+        print("error: report needs at least one of --trace, --events, "
+              "--bench", file=sys.stderr)
+        return 2
+    from .report import render_report
+
+    try:
+        text = render_report(
+            trace_path=args.trace_in,
+            events_path=args.events_in,
+            bench_paths=args.bench_in,
+            fmt=args.format,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.output == "-":
+        print(text, end="")
+    else:
+        with open(args.output, "w", encoding="utf-8") as f:
+            f.write(text)
+    return 0
+
+
 _COMMANDS = {
     "compile": _cmd_compile,
     "link": _cmd_link,
@@ -656,6 +765,7 @@ _COMMANDS = {
     "synth": _cmd_synth,
     "transform": _cmd_transform,
     "bench": _cmd_bench,
+    "report": _cmd_report,
 }
 
 

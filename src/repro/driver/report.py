@@ -1,0 +1,282 @@
+"""Run reports: the paper-style write-up of one run's artifacts.
+
+``repro-cla report`` turns the machine-readable outputs of a run —
+``--trace trace.json`` (stage spans + counters), ``--events events.jsonl``
+(the run ledger), and ``BENCH_*.json`` files — into the tables the paper
+reports results with: a per-phase cost table (§6's wall/user/space
+breakdown), the solver convergence curve (§5's per-round behaviour, with
+a sparkline), CLA load/cache accounting (§4 / Table 3's last columns),
+and the bench stats.  Output is text (the paper's aligned tables) or
+markdown for PR descriptions and CI summaries.
+
+Every section is optional: the report renders whatever artifacts it is
+given and says which inputs produced it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Iterator
+
+from ..engine.events import read_events
+from .benchcmp import load_bench
+from .tables import render, render_markdown
+
+Renderer = Callable[[str, list[str], list[list[str]]], str]
+
+#: Convergence tables longer than this are elided in the middle.
+MAX_CONVERGENCE_ROWS = 24
+
+_SPARKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: list[float]) -> str:
+    """A one-line shape of a series (the convergence curve at a glance)."""
+    if not values:
+        return ""
+    hi = max(values)
+    if hi <= 0:
+        return _SPARKS[0] * len(values)
+    top = len(_SPARKS) - 1
+    return "".join(
+        _SPARKS[min(top, int(v / hi * top))] if v > 0 else _SPARKS[0]
+        for v in values
+    )
+
+
+def load_trace(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or "trace" not in doc:
+        raise ValueError(f"{path}: not a trace json (no 'trace' key)")
+    return doc
+
+
+def _iter_spans(
+    spans: list[dict], depth: int = 0
+) -> Iterator[tuple[dict, int]]:
+    for span in spans:
+        yield span, depth
+        yield from _iter_spans(span.get("children", []), depth + 1)
+
+
+def _attr_summary(attrs: dict[str, Any], limit: int = 48) -> str:
+    parts = []
+    for key, value in attrs.items():
+        text = f"{key}={value}"
+        if len(text) > limit:
+            text = text[: limit - 1] + "…"
+        parts.append(text)
+        if len(parts) == 4:
+            break
+    return " ".join(parts)
+
+
+def phase_rows(trace: dict) -> tuple[list[str], list[list[str]]]:
+    """The §6-style per-phase cost table from a trace tree.
+
+    Per-file ``unit`` spans are folded into their parent compile span's
+    ``files`` attribute rather than listed (they would drown the table).
+    """
+    headers = ["phase", "start", "wall", "user", "rss Δ", "detail"]
+    rows = []
+    for span, depth in _iter_spans(trace.get("trace", [])):
+        if span.get("name") == "unit":
+            continue
+        rows.append([
+            "  " * depth + str(span.get("name", "?")),
+            f"{span.get('start_s', 0.0):.3f}s",
+            f"{span.get('wall_s', 0.0):.3f}s",
+            f"{span.get('user_s', 0.0):.3f}s",
+            f"{span.get('rss_delta_mb', 0.0):.1f}MB",
+            _attr_summary(span.get("attrs", {})),
+        ])
+    return headers, rows
+
+
+def stage_rows_from_events(
+    records: list[dict],
+) -> tuple[list[str], list[list[str]]]:
+    """Phase table reconstructed from the ledger alone (no trace file):
+    one row per ``stage`` end event."""
+    headers = ["phase", "at", "wall", "detail"]
+    rows = []
+    for r in records:
+        if r.get("kind") == "stage" and r.get("phase") == "end":
+            rows.append([
+                str(r.get("stage", "?")),
+                f"{r.get('ts', 0.0):.3f}s",
+                f"{r.get('wall_s', 0.0):.3f}s",
+                _attr_summary(r.get("attrs") or {}),
+            ])
+    return headers, rows
+
+
+def convergence_rows(
+    records: list[dict],
+) -> list[tuple[str, list[str], list[list[str]], str]]:
+    """Per-solver convergence tables from ``solver.round`` records.
+
+    Returns ``(solver, headers, rows, edges_sparkline)`` per solver run,
+    in ledger order; long runs are elided in the middle."""
+    headers = ["round", "edges +", "lvals +", "cache hits", "misses",
+               "hit rate", "cycles +", "blocks"]
+    by_solver: dict[str, list[dict]] = {}
+    order: list[str] = []
+    for r in records:
+        if r.get("kind") != "solver.round":
+            continue
+        solver = str(r.get("solver", "?"))
+        if solver not in by_solver:
+            by_solver[solver] = []
+            order.append(solver)
+        by_solver[solver].append(r)
+    out = []
+    for solver in order:
+        rounds = by_solver[solver]
+        rows = [
+            [
+                str(r.get("round", 0)),
+                str(r.get("edges_added", 0)),
+                str(r.get("delta_lvals", 0)),
+                str(r.get("lval_cache_hits", 0)),
+                str(r.get("lval_cache_misses", 0)),
+                f"{r.get('cache_hit_rate', 0.0):.1%}",
+                str(r.get("cycles_collapsed", 0)),
+                str(r.get("blocks_loaded", 0)),
+            ]
+            for r in rounds
+        ]
+        if len(rows) > MAX_CONVERGENCE_ROWS:
+            head = rows[: MAX_CONVERGENCE_ROWS - 4]
+            tail = rows[-3:]
+            gap = [f"… {len(rows) - len(head) - len(tail)} rounds elided …"]
+            gap += [""] * (len(headers) - 1)
+            rows = head + [gap] + tail
+        curve = sparkline([r.get("edges_added", 0) for r in rounds])
+        out.append((solver, headers, rows, curve))
+    return out
+
+
+def solver_summary_rows(
+    records: list[dict],
+) -> tuple[list[str], list[list[str]]]:
+    """One row per completed solve, from ``solver.end`` records."""
+    headers = ["solver", "rounds", "edges", "constraints", "cycles",
+               "in core", "loaded", "in file", "reloads"]
+    rows = []
+    for r in records:
+        if r.get("kind") != "solver.end":
+            continue
+        stats = r.get("stats") or {}
+        rows.append([
+            str(r.get("solver", "?")),
+            str(r.get("rounds", 0)),
+            str(stats.get("edges_added", 0)),
+            str(stats.get("constraints", 0)),
+            str(stats.get("cycles_collapsed", 0)),
+            str(stats.get("assignments_in_core", 0)),
+            str(stats.get("assignments_loaded", 0)),
+            str(stats.get("assignments_in_file", 0)),
+            str(stats.get("assignments_reloaded", 0)),
+        ])
+    return headers, rows
+
+
+def cache_rows(records: list[dict]) -> tuple[list[str], list[list[str]]]:
+    """CLA pressure accounting from the ``cla.*`` ledger records."""
+    headers = ["event", "count", "assignments"]
+    loads = [r for r in records if r.get("kind") == "cla.load"]
+    reloads = [r for r in records if r.get("kind") == "cla.reload"]
+    evicts = [r for r in records if r.get("kind") == "cla.evict"]
+    rows = [
+        ["load", str(len(loads)),
+         str(sum(r.get("assignments", 0) for r in loads))],
+        ["reload", str(len(reloads)),
+         str(sum(r.get("assignments", 0) for r in reloads))],
+        ["evict", str(len(evicts)),
+         str(sum(r.get("assignments", 0) for r in evicts))],
+    ]
+    last = None
+    for r in records:
+        if r.get("kind") in ("cla.load", "cla.reload", "cla.evict"):
+            last = r
+    if last is not None:
+        rows.append(["final in core", "", str(last.get("in_core", 0))])
+    return headers, rows
+
+
+def counter_rows(trace: dict) -> tuple[list[str], list[list[str]]]:
+    headers = ["counter", "value"]
+    rows = [[name, str(value)]
+            for name, value in sorted(trace.get("counters", {}).items())]
+    return headers, rows
+
+
+def bench_rows(doc: dict) -> tuple[list[str], list[list[str]]]:
+    headers = ["benchmark", "min", "mean", "stddev", "rounds"]
+    rows = []
+    for name, entry in sorted(doc.get("benchmarks", {}).items()):
+        stats = entry.get("stats", {})
+        rows.append([
+            name,
+            f"{stats.get('min', 0.0):.4f}s",
+            f"{stats.get('mean', 0.0):.4f}s",
+            f"{stats.get('stddev', 0.0):.4f}s",
+            str(stats.get("rounds", 0)),
+        ])
+    return headers, rows
+
+
+def render_report(
+    trace_path: str | None = None,
+    events_path: str | None = None,
+    bench_paths: list[str] | None = None,
+    fmt: str = "text",
+) -> str:
+    """Assemble the full run report from whichever artifacts exist."""
+    if fmt not in ("text", "markdown"):
+        raise ValueError(f"unknown report format {fmt!r}")
+    table: Renderer = render_markdown if fmt == "markdown" else render
+    sections: list[str] = []
+    inputs = [p for p in (trace_path, events_path, *(bench_paths or ()))
+              if p]
+    heading = "Run report" if not inputs else (
+        "Run report — " + ", ".join(inputs)
+    )
+    sections.append(f"# {heading}" if fmt == "markdown" else heading)
+
+    if trace_path:
+        trace = load_trace(trace_path)
+        headers, rows = phase_rows(trace)
+        if rows:
+            sections.append(table("Phases", headers, rows))
+        headers, rows = counter_rows(trace)
+        if rows:
+            sections.append(table("Counters", headers, rows))
+
+    if events_path:
+        records = read_events(events_path)
+        if not trace_path:
+            headers, rows = stage_rows_from_events(records)
+            if rows:
+                sections.append(table("Phases (from ledger)", headers, rows))
+        headers, rows = solver_summary_rows(records)
+        if rows:
+            sections.append(table("Solver runs", headers, rows))
+        for solver, headers, rows, curve in convergence_rows(records):
+            title = f"Convergence: {solver}"
+            if curve:
+                title += f"  edges/round {curve}"
+            sections.append(table(title, headers, rows))
+        headers, rows = cache_rows(records)
+        if any(r[1] not in ("", "0") for r in rows):
+            sections.append(table("CLA load accounting", headers, rows))
+
+    for path in bench_paths or ():
+        doc = load_bench(path)
+        headers, rows = bench_rows(doc)
+        suite = doc.get("suite", path)
+        sections.append(table(f"Bench: {suite}", headers, rows))
+
+    return "\n\n".join(sections) + "\n"

@@ -75,6 +75,23 @@ def render(title: str, headers: list[str], rows: list[list[str]]) -> str:
     return format_table(headers, rows, title=title)
 
 
+def render_markdown(
+    title: str, headers: list[str], rows: list[list[str]]
+) -> str:
+    """The same table as a GitHub-flavoured markdown section (used by
+    ``repro-cla report --format markdown``)."""
+    lines = []
+    if title:
+        lines.append(f"### {title}")
+        lines.append("")
+    escape = lambda cell: str(cell).replace("|", "\\|")  # noqa: E731
+    lines.append("| " + " | ".join(escape(h) for h in headers) + " |")
+    lines.append("|" + "|".join(" --- " for _ in headers) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(escape(c) for c in row) + " |")
+    return "\n".join(lines)
+
+
 # ---------------------------------------------------------------------------
 # Table 1: operation strength classification
 # ---------------------------------------------------------------------------

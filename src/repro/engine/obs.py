@@ -61,16 +61,28 @@ def peak_rss_mb() -> float:
     return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
 
 
+def process_user_s() -> float:
+    """User CPU of this process *and* its reaped children.
+
+    Parallel compiles fan the work out to worker processes; counting only
+    ``os.times().user`` would report near-zero user time for a ``--jobs``
+    build, so every user-time measurement here includes
+    ``children_user``.
+    """
+    t = os.times()
+    return t.user + t.children_user
+
+
 def measure(fn: Callable[[], Any]) -> Measurement:
     """Run ``fn`` once, measuring real time, user time and peak RSS."""
-    t0 = os.times()
+    user0 = process_user_s()
     real0 = time.perf_counter()
     result = fn()
     real1 = time.perf_counter()
-    t1 = os.times()
+    user1 = process_user_s()
     return Measurement(
         real_seconds=real1 - real0,
-        user_seconds=t1.user - t0.user,
+        user_seconds=user1 - user0,
         peak_rss_mb=peak_rss_mb(),
         result=result,
     )
@@ -131,14 +143,14 @@ class Span:
     end_rss_mb: float | None = None
 
     def begin(self) -> "Span":
-        self.start_user = os.times().user
+        self.start_user = process_user_s()
         self.start_rss_mb = peak_rss_mb()
         self.start_wall = time.perf_counter()
         return self
 
     def finish(self) -> "Span":
         self.end_wall = time.perf_counter()
-        self.end_user = os.times().user
+        self.end_user = process_user_s()
         self.end_rss_mb = peak_rss_mb()
         return self
 
@@ -154,7 +166,8 @@ class Span:
 
     @property
     def user_seconds(self) -> float:
-        end = self.end_user if self.end_user is not None else os.times().user
+        end = self.end_user if self.end_user is not None \
+            else process_user_s()
         return end - self.start_user
 
     @property
@@ -242,9 +255,27 @@ class Tracer:
         return json.dumps(self.to_dict(registry), indent=2, sort_keys=True)
 
     def write(self, path: str) -> None:
+        """Write the trace: a JSON tree, or flat JSONL for ``.jsonl``
+        paths (the dispatch docs/OBSERVABILITY.md promises)."""
+        if path.endswith(".jsonl"):
+            self.write_jsonl(path)
+            return
         with open(path, "w") as f:
             f.write(self.to_json())
             f.write("\n")
+
+    @property
+    def total_wall_s(self) -> float:
+        """Wall clock covered by the trace: first span start to last span
+        end (open spans count up to now).  0.0 for an empty trace."""
+        if not self.roots:
+            return 0.0
+        start = min(r.start_wall for r in self.roots)
+        end = max(
+            r.end_wall if r.end_wall is not None else time.perf_counter()
+            for r in self.roots
+        )
+        return end - start
 
     def iter_spans(self) -> Iterator[tuple[Span, Span | None]]:
         """Depth-first (span, parent) pairs over the whole trace."""
@@ -338,11 +369,14 @@ class MetricsRegistry:
             self._counters[name] = c
         return c
 
-    def snapshot(self) -> dict[str, int]:
+    def snapshot(self, include_zero: bool = False) -> dict[str, int]:
+        """Counter values, sorted by name.  By default only nonzero
+        counters appear; ``include_zero=True`` returns every registered
+        counter (schema-stable output for diffing two runs)."""
         return {
             name: c.value
             for name, c in sorted(self._counters.items())
-            if c.value
+            if include_zero or c.value
         }
 
     def reset(self) -> None:

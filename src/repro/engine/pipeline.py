@@ -24,8 +24,10 @@ only the cheap link phase is serial.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Iterator
 
 from ..cfront import IncludeResolver, parse_c
 from ..cla.cache import BlockCache
@@ -38,7 +40,8 @@ from ..ir.lower import UnitIR, lower_translation_unit
 from ..ir.strength import Strength
 from ..solvers import SOLVERS
 from ..solvers.base import PointsToResult
-from .obs import Tracer
+from .events import EVENTS, StageEvent, UnitCompiledEvent
+from .obs import Span, Tracer
 
 
 @dataclass
@@ -180,6 +183,30 @@ class Pipeline:
     def _jobs(self, jobs: int | None) -> int:
         return resolve_jobs(self.jobs if jobs is None else jobs)
 
+    @contextmanager
+    def _stage(self, name: str, **attrs) -> Iterator[Span]:
+        """A tracer span that is also a stage begin/end on the event bus.
+
+        The end event carries the span's final attributes and wall time,
+        so an events.jsonl ledger alone reconstructs the per-phase table.
+        It is emitted in a ``finally`` — a failing stage still closes its
+        ledger entry (with the span's ``error`` attribute attached)."""
+        if EVENTS:
+            EVENTS.emit(StageEvent(stage=name, phase="begin",
+                                   attrs=dict(attrs)))
+        span = None
+        try:
+            with self.tracer.span(name, **attrs) as span:
+                yield span
+        finally:
+            # Emitted after the span closes so the end event sees the
+            # final attributes (including ``error`` on a failing stage).
+            if EVENTS and span is not None:
+                EVENTS.emit(StageEvent(
+                    stage=name, phase="end", attrs=dict(span.attrs),
+                    wall_s=round(span.wall_seconds, 6),
+                ))
+
     # -- compile stage -------------------------------------------------------
 
     def compile_units(
@@ -188,28 +215,45 @@ class Pipeline:
         """Compile many in-memory sources to IR, optionally in parallel."""
         jobs = self._jobs(jobs)
         items = sorted(sources.items())
-        with self.tracer.span(
-            "compile", files=len(items), jobs=jobs
-        ) as span:
-            if jobs > 1 and len(items) > 1:
-                workers = min(jobs, len(items))
+        total = len(items)
+        with self._stage("compile", files=total, jobs=jobs) as span:
+            if jobs > 1 and total > 1:
+                workers = min(jobs, total)
+                results: list[UnitIR | None] = [None] * total
                 with ProcessPoolExecutor(max_workers=workers) as pool:
-                    futures = [
+                    futures = {
                         pool.submit(
                             _compile_unit_worker, name, text, self.options
-                        )
-                        for name, text in items
-                    ]
-                    units = [f.result() for f in futures]
+                        ): i
+                        for i, (name, text) in enumerate(items)
+                    }
+                    done = 0
+                    for f in as_completed(futures):
+                        i = futures[f]
+                        unit = f.result()
+                        results[i] = unit
+                        done += 1
+                        if EVENTS:
+                            EVENTS.emit(UnitCompiledEvent(
+                                file=items[i][0], index=done, total=total,
+                                assignments=len(unit.assignments),
+                                objects=len(unit.objects),
+                            ))
+                units = results
             else:
                 units = []
-                for name, text in items:
+                for i, (name, text) in enumerate(items):
                     with self.tracer.span("unit", file=name):
-                        units.append(
-                            compile_source(
-                                text, filename=name, options=self.options
-                            )
+                        unit = compile_source(
+                            text, filename=name, options=self.options
                         )
+                    units.append(unit)
+                    if EVENTS:
+                        EVENTS.emit(UnitCompiledEvent(
+                            file=name, index=i + 1, total=total,
+                            assignments=len(unit.assignments),
+                            objects=len(unit.objects),
+                        ))
             span.annotate(
                 assignments=sum(len(u.assignments) for u in units),
                 objects=sum(len(u.objects) for u in units),
@@ -218,12 +262,18 @@ class Pipeline:
 
     def compile_to_object(self, path: str, out_path: str) -> UnitIR:
         """The compile phase proper: source file -> CLA object file."""
-        with self.tracer.span("compile", files=1, jobs=1) as span:
+        with self._stage("compile", files=1, jobs=1) as span:
             unit = compile_file(path, self.options)
             write_unit(unit, out_path, field_based=self.options.field_based)
             span.annotate(
                 assignments=len(unit.assignments), objects=len(unit.objects)
             )
+            if EVENTS:
+                EVENTS.emit(UnitCompiledEvent(
+                    file=path, index=1, total=1,
+                    assignments=len(unit.assignments),
+                    objects=len(unit.objects),
+                ))
         return unit
 
     def compile_files_to_objects(
@@ -241,29 +291,42 @@ class Pipeline:
         for path in paths:
             with open(path, "r", errors="replace") as f:
                 texts.append(f.read())
-        with self.tracer.span("compile", files=len(paths), jobs=jobs):
-            if jobs > 1 and len(paths) > 1:
-                workers = min(jobs, len(paths))
+        total = len(paths)
+        with self._stage("compile", files=total, jobs=jobs):
+            if jobs > 1 and total > 1:
+                workers = min(jobs, total)
                 with ProcessPoolExecutor(max_workers=workers) as pool:
-                    futures = [
+                    futures = {
                         pool.submit(
                             compile_unit_to_path, path, text, out, self.options
-                        )
+                        ): path
                         for path, text, out in zip(paths, texts, out_paths)
-                    ]
-                    for f in futures:
+                    }
+                    done = 0
+                    for f in as_completed(futures):
                         f.result()
+                        done += 1
+                        if EVENTS:
+                            EVENTS.emit(UnitCompiledEvent(
+                                file=futures[f], index=done, total=total,
+                            ))
             else:
-                for path, text, out in zip(paths, texts, out_paths):
+                for i, (path, text, out) in enumerate(
+                    zip(paths, texts, out_paths)
+                ):
                     with self.tracer.span("unit", file=path):
                         compile_unit_to_path(path, text, out, self.options)
+                    if EVENTS:
+                        EVENTS.emit(UnitCompiledEvent(
+                            file=path, index=i + 1, total=total,
+                        ))
         return out_paths
 
     # -- link stage ----------------------------------------------------------
 
     def link_units(self, units: list[UnitIR]) -> MemoryStore:
         """Link compiled units into an in-memory constraint store."""
-        with self.tracer.span("link", units=len(units)) as span:
+        with self._stage("link", units=len(units)) as span:
             store = MemoryStore(units)
             span.annotate(
                 objects=len(store.objects),
@@ -273,14 +336,14 @@ class Pipeline:
 
     def link_objects(self, object_paths: list[str], out_path: str) -> str:
         """The link phase: object files -> executable database."""
-        with self.tracer.span("link", objects=len(object_paths)) as span:
+        with self._stage("link", objects=len(object_paths)) as span:
             link_object_files(object_paths, out_path)
             span.annotate(output=out_path)
         return out_path
 
     def write_executable(self, units: list[UnitIR], out_path: str) -> str:
         """Serialize linked units straight to an executable database."""
-        with self.tracer.span("link", units=len(units)) as span:
+        with self._stage("link", units=len(units)) as span:
             writer = ObjectFileWriter(
                 field_based=self.options.field_based, linked=True
             )
@@ -325,7 +388,7 @@ class Pipeline:
             raise ValueError(
                 f"unknown solver {solver!r} (known: {known})"
             ) from None
-        with self.tracer.span("analyze", solver=solver) as span:
+        with self._stage("analyze", solver=solver) as span:
             result = cls(store, **solver_kwargs).solve()
             span.annotate(**result.stats.counter_fields())
         return result
@@ -355,7 +418,7 @@ class Pipeline:
         min_strength: Strength = Strength.WEAK,
     ) -> DependenceResult:
         """Forward dependence query by source-level target name."""
-        with self.tracer.span("depend", target=target) as span:
+        with self._stage("depend", target=target) as span:
             analysis = DependenceAnalysis(store, points_to)
             targets = analysis.resolve_targets(target)
             if not targets:

@@ -1,0 +1,85 @@
+"""Scoped cProfile hooks with hot-function attribution.
+
+The paper's performance argument is about *where the analyze phase spends
+its time* (§5 attributes the >50,000x ablation gap to getLvals traversal
+work).  ``repro-cla analyze --profile out.prof`` wraps exactly the analyze
+span in a :mod:`cProfile` session via :func:`profiled` and prints the
+top-N hot functions via :func:`render_hotspots`; the ``.prof`` file is a
+standard :mod:`pstats` dump (``python -m pstats out.prof``, snakeviz, …).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@contextmanager
+def profiled(path: str) -> Iterator[cProfile.Profile]:
+    """Profile the body of the ``with`` block and dump stats to ``path``.
+
+    The dump happens even when the body raises, so failed runs still
+    leave an inspectable profile (matching the ``--trace`` contract).
+    """
+    profile = cProfile.Profile()
+    profile.enable()
+    try:
+        yield profile
+    finally:
+        profile.disable()
+        profile.dump_stats(path)
+
+
+@dataclass(slots=True)
+class HotSpot:
+    """One row of the top-N attribution table."""
+
+    function: str  # "file:line(name)"
+    ncalls: int
+    tottime: float  # time in the function itself
+    cumtime: float  # time including callees
+
+
+def top_hotspots(path: str, n: int = 10) -> list[HotSpot]:
+    """The ``n`` hottest functions of a ``.prof`` dump, by cumulative
+    time, with profiler/pstats plumbing frames filtered out."""
+    stats = pstats.Stats(path)
+    spots = []
+    for (filename, line, name), row in stats.stats.items():  # type: ignore[attr-defined]
+        cc, ncalls, tottime, cumtime, _callers = row
+        if filename.startswith("~") or "cProfile" in filename:
+            continue  # profiler-internal pseudo-frames
+        where = f"{filename}:{line}({name})" if line else name
+        spots.append(HotSpot(where, ncalls, tottime, cumtime))
+    spots.sort(key=lambda s: (-s.cumtime, -s.tottime, s.function))
+    return spots[:n]
+
+
+def render_hotspots(path: str, n: int = 10) -> str:
+    """A text table of the top-N hot functions (the CLI's attribution)."""
+    from .obs import format_table
+
+    rows = [
+        [
+            f"{s.cumtime:.3f}s",
+            f"{s.tottime:.3f}s",
+            str(s.ncalls),
+            _shorten(s.function),
+        ]
+        for s in top_hotspots(path, n)
+    ]
+    return format_table(
+        ["cumtime", "tottime", "ncalls", "function"],
+        rows,
+        title=f"profile: top {len(rows)} by cumulative time ({path})",
+    )
+
+
+def _shorten(function: str, limit: int = 72) -> str:
+    """Trim long paths from the left so the function name stays visible."""
+    if len(function) <= limit:
+        return function
+    return "…" + function[-(limit - 1):]

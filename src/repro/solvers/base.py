@@ -24,6 +24,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..cla.store import ConstraintStore, LoadStats
+from ..engine.events import (
+    EVENTS,
+    SolverBeginEvent,
+    SolverEndEvent,
+    SolverRoundEvent,
+)
 from ..engine.stats import SolverStats
 from ..ir.objects import ObjectKind, ProgramObject
 from ..ir.primitives import PrimitiveKind
@@ -103,6 +109,13 @@ class BaseSolver:
 
     name = "base"
 
+    #: Worklist solvers count a "round" per pop; emitting an event for
+    #: every pop would drown the bus, so their loops emit one
+    #: :class:`SolverRoundEvent` per ``_ROUND_EVENT_MASK + 1`` pops
+    #: (power of two: the guard is one AND).  Iterative solvers emit per
+    #: literal outer round.
+    _ROUND_EVENT_MASK = 0xFFF
+
     def __init__(self, store: ConstraintStore):
         self.store = store
         self.stats = SolverStats(solver=self.name)
@@ -111,6 +124,9 @@ class BaseSolver:
         self._linker = FunPtrLinker(store)
         self._funcptrs: set[str] = set()
         self._functions: set[str] = set()
+        #: previous (edges, hits, misses, cycles, delta_lvals, nodes)
+        #: snapshot, for per-round event deltas
+        self._round_mark = (0, 0, 0, 0, 0, 0)
 
     # -- constraint intake ----------------------------------------------------
 
@@ -161,6 +177,46 @@ class BaseSolver:
             if obj.kind == ObjectKind.FUNCTION:
                 self._functions.add(name)
 
+    # -- the run-ledger seam ---------------------------------------------------
+
+    def _emit_begin(self) -> None:
+        """Publish a :class:`SolverBeginEvent` (no-op with no sinks)."""
+        if EVENTS:
+            EVENTS.emit(SolverBeginEvent(
+                solver=self.name, in_file=self.store.stats.in_file
+            ))
+
+    def _emit_round(self) -> None:
+        """Publish one :class:`SolverRoundEvent` with per-round deltas.
+
+        Callers on per-pop worklist hot paths pre-guard with the
+        ``_ROUND_EVENT_MASK`` batch check; the bus check here keeps the
+        no-sink cost to a single truthiness test either way.
+        """
+        if not EVENTS:
+            return
+        s = self.stats
+        mark = self._round_mark
+        cur = (s.edges_added, s.cache_hits, s.cache_misses,
+               s.cycles_collapsed, s.delta_lvals_processed, s.nodes_visited)
+        self._round_mark = cur
+        hits = cur[1] - mark[1]
+        misses = cur[2] - mark[2]
+        queries = hits + misses
+        EVENTS.emit(SolverRoundEvent(
+            solver=self.name,
+            round=s.rounds,
+            edges_added=cur[0] - mark[0],
+            delta_lvals=cur[4] - mark[4],
+            lval_cache_hits=hits,
+            lval_cache_misses=misses,
+            cache_hit_rate=hits / queries if queries else 0.0,
+            cycles_collapsed=cur[3] - mark[3],
+            nodes_visited=cur[5] - mark[5],
+            constraints=s.constraints,
+            blocks_loaded=self.store.stats.blocks_loaded,
+        ))
+
     # -- the shared reporting hook ---------------------------------------------
 
     def _finalize(self, pts: dict[str, frozenset[str]]) -> PointsToResult:
@@ -175,6 +231,12 @@ class BaseSolver:
         """
         self.stats.absorb_load_stats(self.store.stats)
         self.stats.publish()
+        if EVENTS:
+            EVENTS.emit(SolverEndEvent(
+                solver=self.name,
+                rounds=self.stats.rounds,
+                stats=self.stats.as_dict(),
+            ))
         objects = {}
         for name in pts:
             obj = self.store.get_object(name)

@@ -109,11 +109,14 @@ class BitVectorSolver(BaseSolver):
             self._worklist.append(node)
 
     def solve(self) -> PointsToResult:
+        self._emit_begin()
         self._ingest_all()
         self._collect_funcptrs()
 
         while self._worklist:
             self.metrics.rounds += 1
+            if not self.metrics.rounds & self._ROUND_EVENT_MASK:
+                self._emit_round()  # one event per pop batch
             node = self._worklist.popleft()
             self._queued.discard(node)
             delta = self._delta.pop(node, 0)
@@ -133,6 +136,7 @@ class BitVectorSolver(BaseSolver):
                     self.metrics.funcptr_links += 1
                     self._ingest(PrimitiveKind.COPY, dst, src)
 
+        self._emit_round()  # the final (possibly partial) pop batch
         self.store.discard(self.metrics.constraints)
         return self._result()
 

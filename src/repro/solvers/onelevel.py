@@ -173,6 +173,7 @@ class OneLevelFlowSolver(BaseSolver):
     # -- solving ---------------------------------------------------------------
 
     def solve(self) -> PointsToResult:
+        self._emit_begin()
         self._ingest_all()
         self._scan_functions()
 
@@ -185,10 +186,12 @@ class OneLevelFlowSolver(BaseSolver):
                            if o in self._functions]
                 new_constraints.extend(self._linker.link(fp, callees))
             if not new_constraints:
+                self._emit_round()
                 break
             for dst, src in new_constraints:
                 self.metrics.funcptr_links += 1
                 self._ingest(PrimitiveKind.COPY, dst, src)
+            self._emit_round()
 
         self.store.discard(0)
         return self._result(pts)

@@ -462,6 +462,7 @@ class PreTransitiveSolver(BaseSolver):
     # ------------------------------------------------------------------
 
     def solve(self) -> PointsToResult:
+        self._emit_begin()
         if not self.demand_load:
             # Full preload must happen before anything marks blocks as
             # loaded: _ensure_loaded is a no-op in this mode, so a block
@@ -519,6 +520,9 @@ class PreTransitiveSolver(BaseSolver):
                         if self._add_edge(peer, z):
                             self._ensure_loaded(z.name)
             self._link_function_pointers()
+            # One ledger event per Figure 5 round: the §5 convergence
+            # curve (edges added, delta size, cache hit rate) as data.
+            self._emit_round()
             if not self._changed:
                 break
 

@@ -150,6 +150,7 @@ class SteensgaardSolver(BaseSolver):
     # -- solving ---------------------------------------------------------------
 
     def solve(self) -> PointsToResult:
+        self._emit_begin()
         self._ingest_all()
         self._scan_functions()
 
@@ -164,10 +165,12 @@ class SteensgaardSolver(BaseSolver):
                 callees = [o for o in pointee.lvals if o in self._functions]
                 new_constraints.extend(self._linker.link(fp, callees))
             if not new_constraints:
+                self._emit_round()
                 break
             for dst, src in new_constraints:
                 self.metrics.funcptr_links += 1
                 self._ingest(PrimitiveKind.COPY, dst, src)
+            self._emit_round()
 
         self.store.discard(0)  # unification keeps no assignments at all
         return self._result()

@@ -1,0 +1,122 @@
+"""Tests for the BENCH-JSON regression comparison (the CI perf gate)."""
+
+import io
+import json
+
+import pytest
+
+from repro.driver.benchcmp import (
+    compare_docs,
+    load_bench,
+    regressions,
+    render_compare,
+    run_compare,
+)
+
+
+def doc(**benchmarks):
+    """A minimal BENCH document with the given ``name=min_time`` pairs."""
+    return {
+        "schema": 1,
+        "suite": "test",
+        "benchmarks": {
+            name: {"stats": {"min": t, "max": t, "mean": t, "stddev": 0.0,
+                             "median": t, "rounds": 5, "iterations": 1},
+                   "extra_info": {}}
+            for name, t in benchmarks.items()
+        },
+        "counters": {},
+    }
+
+
+class TestCompareDocs:
+    def test_statuses(self):
+        base = doc(a=1.0, b=1.0, c=1.0, gone=1.0)
+        new = doc(a=1.5, b=0.5, c=1.05, fresh=0.1)
+        by_name = {d.name: d for d in compare_docs(base, new)}
+        assert by_name["a"].status == "regression"
+        assert by_name["b"].status == "improvement"
+        assert by_name["c"].status == "ok"
+        assert by_name["gone"].status == "removed"
+        assert by_name["fresh"].status == "added"
+        assert by_name["a"].ratio == pytest.approx(1.5)
+        assert by_name["fresh"].ratio is None
+
+    def test_threshold_is_exclusive_at_the_boundary(self):
+        base, new = doc(a=1.0), doc(a=1.15)
+        (delta,) = compare_docs(base, new, threshold=0.15)
+        assert delta.status == "ok"  # exactly at the band edge
+        (delta,) = compare_docs(doc(a=1.0), doc(a=1.151), threshold=0.15)
+        assert delta.status == "regression"
+
+    def test_custom_threshold(self):
+        (delta,) = compare_docs(doc(a=1.0), doc(a=1.2), threshold=0.5)
+        assert delta.status == "ok"
+        (delta,) = compare_docs(doc(a=1.0), doc(a=1.2), threshold=0.1)
+        assert delta.status == "regression"
+
+    def test_added_and_removed_never_regress(self):
+        deltas = compare_docs(doc(gone=1.0), doc(fresh=99.0))
+        assert regressions(deltas) == []
+
+    def test_zero_baseline_regresses_when_new_is_slower(self):
+        (delta,) = compare_docs(doc(a=0.0), doc(a=0.1))
+        assert delta.status == "regression"
+
+
+class TestLoadBench:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "BENCH_test.json"
+        path.write_text(json.dumps(doc(a=1.0)))
+        loaded = load_bench(str(path))
+        assert loaded["benchmarks"]["a"]["stats"]["min"] == 1.0
+
+    def test_rejects_non_bench_json(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text('{"something": "else"}')
+        with pytest.raises(ValueError, match="benchmarks"):
+            load_bench(str(path))
+
+    def test_rejects_unknown_schema(self, tmp_path):
+        bad = doc(a=1.0)
+        bad["schema"] = 99
+        path = tmp_path / "x.json"
+        path.write_text(json.dumps(bad))
+        with pytest.raises(ValueError, match="schema"):
+            load_bench(str(path))
+
+
+class TestRunCompare:
+    def _paths(self, tmp_path, base, new):
+        b, n = tmp_path / "base.json", tmp_path / "new.json"
+        b.write_text(json.dumps(base))
+        n.write_text(json.dumps(new))
+        return str(b), str(n)
+
+    def test_regression_exits_nonzero(self, tmp_path):
+        out = io.StringIO()
+        b, n = self._paths(tmp_path, doc(a=1.0), doc(a=2.0))
+        assert run_compare(b, n, out=out) == 1
+        text = out.getvalue()
+        assert "regression" in text and "a" in text
+
+    def test_warn_only_exits_zero(self, tmp_path):
+        out = io.StringIO()
+        b, n = self._paths(tmp_path, doc(a=1.0), doc(a=2.0))
+        assert run_compare(b, n, warn_only=True, out=out) == 0
+        assert "warning" in out.getvalue()
+
+    def test_clean_compare_exits_zero(self, tmp_path):
+        out = io.StringIO()
+        b, n = self._paths(tmp_path, doc(a=1.0, b=0.5), doc(a=1.02, b=0.49))
+        assert run_compare(b, n, out=out) == 0
+        assert "no regressions" in out.getvalue()
+
+
+class TestRender:
+    def test_table_contains_all_rows(self):
+        deltas = compare_docs(doc(a=1.0, b=0.002), doc(a=1.5, b=0.002))
+        text = render_compare(deltas, threshold=0.15)
+        assert "benchmark" in text and "status" in text
+        assert "1.50x" in text
+        assert "2.00ms" in text  # sub-second rendering

@@ -193,6 +193,139 @@ class TestTransformSmoke:
         assert "assignments" in capsys.readouterr().out
 
 
+class TestLedgerSmoke:
+    """The run-ledger surface: --events/--progress/--profile, report,
+    and the bench-compare regression gate."""
+
+    def test_events_and_progress_and_profile(self, sources, tmp_path,
+                                             capsys):
+        _, a, b = sources
+        events = tmp_path / "e.jsonl"
+        prof = tmp_path / "p.prof"
+        assert main(["analyze", a, b, "--progress",
+                     "--events", str(events),
+                     "--profile", str(prof), "--stats"]) == 0
+        captured = capsys.readouterr()
+        # Profiling: dump written, attribution table on stdout.
+        assert prof.exists()
+        assert "profile: top" in captured.out
+        # Progress narrative goes to stderr, not stdout.
+        assert "[analyze pretransitive] round" in captured.err
+        assert "done in" in captured.err
+        # The JSONL ledger covers every producer layer.
+        from repro.engine.events import read_events
+
+        kinds = {r["kind"] for r in read_events(str(events))}
+        assert {"stage", "compile.unit", "solver.begin", "solver.round",
+                "solver.end", "cla.load"} <= kinds
+
+    @pytest.mark.parametrize("solver", ["pretransitive", "transitive",
+                                        "bitvector", "steensgaard",
+                                        "onelevel"])
+    def test_every_solver_emits_round_events(self, database, tmp_path,
+                                             solver):
+        from repro.engine.events import read_events
+
+        events = tmp_path / f"{solver}.jsonl"
+        assert main(["analyze", database, "--solver", solver,
+                     "--events", str(events)]) == 0
+        records = read_events(str(events))
+        rounds = [r for r in records if r["kind"] == "solver.round"]
+        assert rounds and all(r["solver"] == solver for r in rounds)
+        ends = [r for r in records if r["kind"] == "solver.end"]
+        assert len(ends) == 1 and ends[0]["rounds"] >= 1
+
+    def test_sinks_detach_after_run(self, database, tmp_path):
+        from repro.engine.events import EVENTS
+
+        events = tmp_path / "e.jsonl"
+        assert main(["analyze", database, "--events", str(events)]) == 0
+        assert not EVENTS  # bus must be falsy again once the CLI exits
+
+    def test_depend_supports_ledger_flags(self, database, tmp_path,
+                                          capsys):
+        events = tmp_path / "dep.jsonl"
+        assert main(["depend", database, "--target", "tgt",
+                     "--events", str(events), "--progress"]) == 0
+        from repro.engine.events import read_events
+
+        kinds = {r["kind"] for r in read_events(str(events))}
+        assert "solver.round" in kinds and "stage" in kinds
+
+    def test_report_from_run_artifacts(self, sources, tmp_path, capsys):
+        _, a, b = sources
+        trace = tmp_path / "t.json"
+        events = tmp_path / "e.jsonl"
+        assert main(["analyze", a, b, "--trace", str(trace),
+                     "--events", str(events)]) == 0
+        capsys.readouterr()
+        assert main(["report", "--trace", str(trace),
+                     "--events", str(events)]) == 0
+        out = capsys.readouterr().out
+        assert "Run report" in out
+        assert "Phases" in out
+        assert "Convergence: pretransitive" in out
+        assert "CLA load accounting" in out
+
+    def test_report_markdown_to_file(self, database, tmp_path, capsys):
+        events = tmp_path / "e.jsonl"
+        assert main(["analyze", database, "--events", str(events)]) == 0
+        out_md = tmp_path / "report.md"
+        assert main(["report", "--events", str(events),
+                     "--format", "markdown", "-o", str(out_md)]) == 0
+        text = out_md.read_text()
+        assert text.startswith("# Run report")
+        assert "| --- |" in text
+
+    def test_report_without_inputs_is_usage_error(self, capsys):
+        assert main(["report"]) == 2
+        assert "at least one" in capsys.readouterr().err
+
+    def _bench_doc(self, a_min):
+        return {
+            "schema": 1, "suite": "scaling",
+            "benchmarks": {"test_solve": {"stats": {
+                "min": a_min, "max": a_min, "mean": a_min, "stddev": 0.0,
+                "median": a_min, "rounds": 5, "iterations": 1},
+                "extra_info": {}}},
+            "counters": {},
+        }
+
+    def test_bench_compare_detects_regression(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        new = tmp_path / "new.json"
+        base.write_text(json.dumps(self._bench_doc(1.0)))
+        new.write_text(json.dumps(self._bench_doc(1.5)))  # +50%
+        assert main(["bench", "compare", str(base), str(new)]) == 1
+        assert "regression" in capsys.readouterr().out
+        # The CI mode downgrades the gate to a warning.
+        assert main(["bench", "compare", str(base), str(new),
+                     "--warn-only"]) == 0
+        # Identical runs pass cleanly.
+        assert main(["bench", "compare", str(base), str(base)]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_bench_compare_threshold_flag(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        new = tmp_path / "new.json"
+        base.write_text(json.dumps(self._bench_doc(1.0)))
+        new.write_text(json.dumps(self._bench_doc(1.2)))
+        assert main(["bench", "compare", str(base), str(new),
+                     "--threshold", "0.5"]) == 0
+        assert main(["bench", "compare", str(base), str(new),
+                     "--threshold", "0.1"]) == 1
+
+    def test_bench_compare_usage_errors(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(self._bench_doc(1.0)))
+        assert main(["bench", "compare", str(base)]) == 2
+        assert "two" in capsys.readouterr().err
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert main(["bench", "compare", str(base), str(bad)]) == 2
+        assert main(["bench", "table1", str(base)]) == 2
+
+
 class TestBenchSmoke:
     def test_bench_table1(self, capsys):
         assert main(["bench", "table1"]) == 0

@@ -1,0 +1,162 @@
+"""Tests for the run-report renderer (trace + events + bench → tables)."""
+
+import json
+
+import pytest
+
+from repro.driver.report import (
+    MAX_CONVERGENCE_ROWS,
+    convergence_rows,
+    load_trace,
+    render_report,
+    sparkline,
+)
+from repro.driver.tables import render_markdown
+
+
+def _round(solver, n, edges, **extra):
+    record = {"kind": "solver.round", "solver": solver, "round": n,
+              "edges_added": edges, "delta_lvals": 0,
+              "lval_cache_hits": 0, "lval_cache_misses": 0,
+              "cache_hit_rate": 0.0, "cycles_collapsed": 0,
+              "nodes_visited": 0, "constraints": 0, "blocks_loaded": 0,
+              "ts": float(n)}
+    record.update(extra)
+    return record
+
+
+def _write_events(path, records):
+    lines = [json.dumps({"kind": "events.header", "schema": 1})]
+    lines += [json.dumps(r) for r in records]
+    path.write_text("\n".join(lines) + "\n")
+
+
+def _write_trace(path):
+    doc = {
+        "schema": 1,
+        "trace": [{
+            "name": "session", "start_s": 0.0, "wall_s": 1.0,
+            "user_s": 0.9, "rss_delta_mb": 2.0,
+            "attrs": {"command": "analyze"},
+            "children": [
+                {"name": "compile", "start_s": 0.0, "wall_s": 0.4,
+                 "user_s": 0.4, "rss_delta_mb": 1.0,
+                 "attrs": {"files": 2},
+                 "children": [
+                     {"name": "unit", "start_s": 0.0, "wall_s": 0.2,
+                      "user_s": 0.2, "rss_delta_mb": 0.5,
+                      "attrs": {"file": "a.c"}, "children": []},
+                 ]},
+                {"name": "analyze", "start_s": 0.5, "wall_s": 0.5,
+                 "user_s": 0.5, "rss_delta_mb": 1.0,
+                 "attrs": {"solver": "pretransitive"}, "children": []},
+            ],
+        }],
+        "counters": {"solver.edges_added": 42},
+    }
+    path.write_text(json.dumps(doc))
+
+
+class TestSparkline:
+    def test_shape(self):
+        assert sparkline([]) == ""
+        assert sparkline([0, 0]) == "▁▁"
+        line = sparkline([1, 4, 8, 2, 0])
+        assert len(line) == 5
+        assert line[2] == "█"  # the max gets the tallest bar
+        assert line[-1] == "▁"  # zero gets the floor
+
+
+class TestConvergence:
+    def test_groups_by_solver_in_ledger_order(self):
+        records = [_round("b", 1, 5), _round("a", 1, 3), _round("b", 2, 0)]
+        out = convergence_rows(records)
+        assert [solver for solver, *_ in out] == ["b", "a"]
+        _, headers, rows, curve = out[0]
+        assert len(rows) == 2
+        assert curve == sparkline([5, 0])
+
+    def test_long_runs_are_elided(self):
+        records = [_round("s", i, i) for i in range(1, 41)]
+        (_, _headers, rows, _curve), = convergence_rows(records)
+        assert len(rows) == MAX_CONVERGENCE_ROWS
+        assert any("elided" in r[0] for r in rows)
+        assert rows[-1][0] == "40"  # the tail survives
+
+
+class TestRenderReport:
+    def test_full_text_report(self, tmp_path):
+        trace = tmp_path / "t.json"
+        events = tmp_path / "e.jsonl"
+        _write_trace(trace)
+        _write_events(events, [
+            {"kind": "stage", "stage": "analyze", "phase": "end",
+             "attrs": {"solver": "pretransitive"}, "wall_s": 0.5,
+             "ts": 1.0},
+            {"kind": "solver.end", "solver": "pretransitive", "rounds": 2,
+             "stats": {"edges_added": 42, "constraints": 7,
+                       "assignments_in_core": 1, "assignments_loaded": 3,
+                       "assignments_in_file": 3}, "ts": 1.0},
+            _round("pretransitive", 1, 40),
+            _round("pretransitive", 2, 2),
+            {"kind": "cla.load", "assignments": 3, "blocks": 1,
+             "in_core": 3, "loaded": 3, "reloads": 0, "ts": 0.1},
+        ])
+        text = render_report(trace_path=str(trace),
+                             events_path=str(events))
+        assert "Phases" in text
+        assert "compile" in text and "analyze" in text
+        assert "unit" not in text.split("Counters")[0]  # folded away
+        assert "Counters" in text and "solver.edges_added" in text
+        assert "Solver runs" in text
+        assert "Convergence: pretransitive" in text
+        assert "CLA load accounting" in text
+
+    def test_events_only_report_reconstructs_phases(self, tmp_path):
+        events = tmp_path / "e.jsonl"
+        _write_events(events, [
+            {"kind": "stage", "stage": "compile", "phase": "end",
+             "attrs": {"files": 2}, "wall_s": 0.4, "ts": 0.4},
+        ])
+        text = render_report(events_path=str(events))
+        assert "Phases (from ledger)" in text
+        assert "files=2" in text
+
+    def test_markdown_format(self, tmp_path):
+        trace = tmp_path / "t.json"
+        _write_trace(trace)
+        text = render_report(trace_path=str(trace), fmt="markdown")
+        assert text.startswith("# Run report")
+        assert "### Phases" in text
+        assert "| --- |" in text
+
+    def test_bench_section(self, tmp_path):
+        bench = tmp_path / "BENCH_scaling.json"
+        bench.write_text(json.dumps({
+            "schema": 1, "suite": "scaling",
+            "benchmarks": {"test_x": {"stats": {
+                "min": 0.5, "max": 0.6, "mean": 0.55, "stddev": 0.01,
+                "median": 0.55, "rounds": 5, "iterations": 1},
+                "extra_info": {}}},
+            "counters": {},
+        }))
+        text = render_report(bench_paths=[str(bench)])
+        assert "Bench: scaling" in text
+        assert "test_x" in text and "0.5000s" in text
+
+    def test_rejects_unknown_format(self):
+        with pytest.raises(ValueError, match="format"):
+            render_report(fmt="html")
+
+    def test_rejects_non_trace_json(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text('{"benchmarks": {}}')
+        with pytest.raises(ValueError, match="trace"):
+            load_trace(str(path))
+
+
+class TestMarkdownTable:
+    def test_escapes_pipes(self):
+        text = render_markdown("T", ["a"], [["x|y"]])
+        assert "x\\|y" in text
+        assert text.splitlines()[0] == "### T"

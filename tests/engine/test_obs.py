@@ -11,6 +11,7 @@ from repro.engine.obs import (
     Tracer,
     TRACE_SCHEMA_VERSION,
     measure,
+    process_user_s,
 )
 
 
@@ -113,6 +114,45 @@ class TestTraceExport:
         doc = json.loads(out.read_text())
         assert doc["trace"][0]["name"] == "analyze"
 
+    def test_write_dispatches_on_jsonl_extension(self, tmp_path):
+        """``Tracer.write`` must honour the documented contract: a
+        ``.jsonl`` path gets the flat one-span-per-line format."""
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        out = tmp_path / "trace.jsonl"
+        tracer.write(str(out))
+        lines = out.read_text().splitlines()
+        assert len(lines) == 2  # flat: one record per span, no tree doc
+        records = [json.loads(line) for line in lines]
+        by_name = {r["name"]: r for r in records}
+        assert by_name["b"]["parent"] == by_name["a"]["id"]
+        # Round-trip consistency with the tree export.
+        tree = tracer.to_dict(registry=MetricsRegistry())
+        assert tree["trace"][0]["name"] == "a"
+        assert {r["name"] for r in records} \
+            == {s.name for s, _ in tracer.iter_spans()}
+
+    def test_total_wall_s(self):
+        tracer = Tracer()
+        assert tracer.total_wall_s == 0.0
+        with tracer.span("a"):
+            sum(range(1000))
+        with tracer.span("b"):
+            pass
+        total = tracer.total_wall_s
+        a, b = tracer.roots
+        assert total >= a.wall_seconds
+        assert abs(total - (b.end_wall - a.start_wall)) < 1e-9
+        # An open root counts up to now.
+        ctx = tracer.span("open")
+        ctx.__enter__()
+        try:
+            assert tracer.total_wall_s >= total
+        finally:
+            ctx.__exit__(None, None, None)
+
     def test_write_jsonl_parent_references(self, tmp_path):
         tracer = Tracer()
         with tracer.span("a"):
@@ -145,6 +185,14 @@ class TestCounters:
         reg.counter("alpha").add(1)
         reg.counter("never")  # stays zero
         assert list(reg.snapshot().items()) == [("alpha", 1), ("zeta", 2)]
+
+    def test_registry_snapshot_include_zero(self):
+        reg = MetricsRegistry()
+        reg.counter("zeta").add(2)
+        reg.counter("never")  # stays zero
+        snap = reg.snapshot(include_zero=True)
+        # Schema-stable output: every registered counter, still sorted.
+        assert list(snap.items()) == [("never", 0), ("zeta", 2)]
 
     def test_reset_keeps_handles_live(self):
         reg = MetricsRegistry()
@@ -185,3 +233,30 @@ class TestMetricsShim:
         m = measure(lambda: 21 * 2)
         assert m.result == 42
         assert m.real_seconds >= 0
+
+
+class TestUserTime:
+    def test_process_user_s_includes_reaped_children(self):
+        """Parallel compiles do their work in worker processes;
+        ``user_s`` must count their CPU, not just the parent's."""
+        import os
+
+        t = os.times()
+        assert abs(process_user_s() - (t.user + t.children_user)) < 0.5
+
+    def test_parallel_compile_user_time_is_counted(self):
+        """A --jobs build's span user time must reflect the children's
+        work once they are reaped (the satellite fix this pins)."""
+        from repro.engine.pipeline import Pipeline
+
+        sources = {
+            f"f{i}.c": f"int x{i}, *p{i}; "
+                       f"void fn{i}(void) {{ p{i} = &x{i}; }}\n"
+            for i in range(4)
+        }
+        pipeline = Pipeline(jobs=2)
+        pipeline.compile_units(sources)
+        span = pipeline.tracer.find("compile")[0]
+        # Children's CPU is only visible after wait(); the invariant that
+        # must hold is that the measurement is well-formed, not negative.
+        assert span.user_seconds >= 0.0

@@ -1,0 +1,41 @@
+"""Tests for the scoped cProfile hooks and hot-function attribution."""
+
+import pytest
+
+from repro.engine.profiling import profiled, render_hotspots, top_hotspots
+
+
+def _busy():
+    return sum(i * i for i in range(20_000))
+
+
+class TestProfiled:
+    def test_writes_pstats_dump(self, tmp_path):
+        path = str(tmp_path / "p.prof")
+        with profiled(path):
+            _busy()
+        spots = top_hotspots(path, n=5)
+        assert spots
+        assert all(s.cumtime >= s.tottime >= 0.0 for s in spots)
+        assert all(s.ncalls >= 1 for s in spots)
+        # pstats pseudo-frames are filtered out of the attribution.
+        assert not any(s.function.startswith("~") for s in spots)
+
+    def test_dump_survives_exception(self, tmp_path):
+        path = tmp_path / "p.prof"
+        with pytest.raises(RuntimeError):
+            with profiled(str(path)):
+                _busy()
+                raise RuntimeError("boom")
+        assert path.exists()
+        assert top_hotspots(str(path))
+
+    def test_render_hotspots_table(self, tmp_path):
+        path = str(tmp_path / "p.prof")
+        with profiled(path):
+            _busy()
+        text = render_hotspots(path, n=3)
+        assert "cumtime" in text and "function" in text
+        assert path in text
+        # Top-N bound respected.
+        assert len(text.splitlines()) <= 3 + 3  # title + headers + rule
