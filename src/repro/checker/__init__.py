@@ -1,0 +1,27 @@
+"""Correctness subsystem: soundness oracle, differential fuzzer, shrinker.
+
+The pre-transitive solver earns its speed from interacting optimizations
+(deliberately stale caching, unification-based cycle elimination,
+difference propagation, demand loading) — exactly the machinery where a
+subtle bug yields a *plausible but unsound* points-to set.  This package
+checks results independently of any solver:
+
+* :mod:`repro.checker.oracle` — verifies a
+  :class:`~repro.solvers.base.PointsToResult` is a closed model of the
+  constraint set, by direct enumeration over the store;
+* :mod:`repro.checker.fuzz` — generates random programs via
+  :mod:`repro.synth.generator`, runs every registered solver plus the
+  pretransitive toggle matrix, and cross-checks the results;
+* :mod:`repro.checker.shrink` — delta-debugs a failing program down to a
+  minimal C repro written to disk.
+"""
+
+from .fuzz import FuzzConfig, FuzzFailure, FuzzOutcome, run_fuzz
+from .oracle import CheckReport, Violation, check_result
+from .shrink import ShrinkResult, ddmin, shrink_program
+
+__all__ = [
+    "CheckReport", "Violation", "check_result",
+    "FuzzConfig", "FuzzFailure", "FuzzOutcome", "run_fuzz",
+    "ShrinkResult", "ddmin", "shrink_program",
+]

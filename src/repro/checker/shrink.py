@@ -1,0 +1,203 @@
+"""Delta-debugging shrinker for failing fuzz programs.
+
+When the differential fuzzer finds a program on which the solvers disagree
+(or the oracle finds a violation), the raw program is hundreds of
+statements across several files — useless as a bug report.  This module
+minimizes it with the classic ddmin algorithm [Zeller/Hildebrandt], run in
+two granularities:
+
+1. **unit level** — drop whole ``.c`` files while the failure reproduces;
+2. **statement level** — drop individual statement lines from the
+   surviving files.
+
+The predicate recompiles each candidate and re-runs the failing checks; a
+candidate that no longer *compiles* simply does not reproduce the failure
+(removing a declaration whose uses remain, say), so ddmin routes around it
+without special casing.  The result is a minimal failing C program —
+typically a handful of assignments — written to disk by the fuzzer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..engine.events import EVENTS, ShrinkStepEvent
+from ..engine.obs import REGISTRY
+
+_SHRINK_TESTS = REGISTRY.counter("checker.shrink.tests")
+
+#: Line prefixes that are structure, not removable statements.
+_KEEP_PREFIXES = ("#", "{", "}", "int ", "int*", "struct ", "extern ",
+                  "if ", "while ", "return ", "break;", "/*")
+
+
+@dataclass
+class ShrinkResult:
+    """A minimized failing program."""
+
+    header: str
+    files: dict[str, str]
+    tests_run: int = 0
+    #: statement lines carrying an assignment in the surviving bodies —
+    #: the "size" a bug report is judged by
+    assignment_lines: int = 0
+    removed_files: int = 0
+    removed_lines: int = 0
+    statements: list[str] = field(default_factory=list)
+
+
+def ddmin(
+    items: Sequence,
+    test: Callable[[list], bool],
+    max_tests: int = 400,
+    stage: str = "",
+) -> tuple[list, int]:
+    """Minimize ``items`` to a smaller list on which ``test`` still holds.
+
+    ``test(candidate)`` must return True iff the candidate still fails
+    (reproduces the bug).  ``items`` itself is assumed failing.  Returns
+    ``(minimized, predicate_runs)``; the budget bounds predicate runs, so
+    a pathological case degrades to a partial shrink, never a hang.
+    """
+    items = list(items)
+    tests = 0
+
+    def run(candidate: list) -> bool:
+        nonlocal tests
+        tests += 1
+        _SHRINK_TESTS.add(1)
+        return test(candidate)
+
+    n = 2
+    while len(items) >= 2 and tests < max_tests:
+        chunk = (len(items) + n - 1) // n
+        reduced = False
+        for start in range(0, len(items), chunk):
+            if tests >= max_tests:
+                break
+            candidate = items[:start] + items[start + chunk:]
+            if run(candidate):
+                items = candidate
+                n = max(2, n - 1)
+                reduced = True
+                if EVENTS:
+                    EVENTS.emit(ShrinkStepEvent(
+                        stage=stage, remaining=len(items), tests=tests,
+                    ))
+                break
+        if not reduced:
+            if n >= len(items):
+                break
+            n = min(len(items), n * 2)
+    return items, tests
+
+
+def _removable_lines(text: str) -> list[int]:
+    """Indexes of lines that are candidate statements to drop.
+
+    Anything that is a semicolon-terminated statement inside a function
+    body qualifies; declarations and control-flow scaffolding are kept
+    (removing them would only churn the compile-failure path).
+    """
+    out = []
+    for i, line in enumerate(text.split("\n")):
+        stripped = line.strip()
+        if not stripped or not stripped.endswith(";"):
+            continue
+        if stripped.startswith(_KEEP_PREFIXES):
+            continue
+        if not line.startswith((" ", "\t")):
+            continue  # top-level: a definition, not a body statement
+        out.append(i)
+    return out
+
+
+def _apply_lines(text: str, keep: set[int], removable: set[int]) -> str:
+    lines = text.split("\n")
+    return "\n".join(
+        line for i, line in enumerate(lines)
+        if i not in removable or i in keep
+    )
+
+
+def _is_assignment(stripped: str) -> bool:
+    return "=" in stripped and not stripped.startswith(_KEEP_PREFIXES)
+
+
+def count_assignment_lines(files: dict[str, str]) -> int:
+    """Statement lines with an assignment across all function bodies."""
+    total = 0
+    for text in files.values():
+        for i in _removable_lines(text):
+            if _is_assignment(text.split("\n")[i].strip()):
+                total += 1
+    return total
+
+
+def shrink_program(
+    header: str,
+    files: dict[str, str],
+    predicate: Callable[[dict[str, str]], bool],
+    max_tests: int = 400,
+) -> ShrinkResult:
+    """Minimize a failing program (header + per-file sources).
+
+    ``predicate(files)`` returns True iff the candidate (with the fixed
+    header) still fails.  The header is kept verbatim: it holds the shared
+    declarations, and the statement-level pass empties the bodies that
+    reference them anyway.
+    """
+    total_tests = 0
+
+    # Pass 1: whole translation units.
+    names = sorted(files)
+    kept_names, tests = ddmin(
+        names,
+        lambda keep: predicate({n: files[n] for n in keep}),
+        max_tests=max_tests,
+        stage="files",
+    )
+    total_tests += tests
+    current = {n: files[n] for n in kept_names}
+
+    # Pass 2: statement lines across the surviving files.
+    items: list[tuple[str, int]] = []
+    removable_by_file: dict[str, set[int]] = {}
+    for name in sorted(current):
+        idxs = _removable_lines(current[name])
+        removable_by_file[name] = set(idxs)
+        items.extend((name, i) for i in idxs)
+
+    def build(keep_items: list[tuple[str, int]]) -> dict[str, str]:
+        keep_by_file: dict[str, set[int]] = {n: set() for n in current}
+        for name, i in keep_items:
+            keep_by_file[name].add(i)
+        return {
+            name: _apply_lines(text, keep_by_file[name],
+                               removable_by_file[name])
+            for name, text in current.items()
+        }
+
+    budget_left = max(max_tests - total_tests, max_tests // 4)
+    kept_items, tests = ddmin(
+        items,
+        lambda keep: predicate(build(keep)),
+        max_tests=budget_left,
+        stage="lines",
+    )
+    total_tests += tests
+    minimized = build(kept_items)
+
+    statements = []
+    for name, i in sorted(kept_items):
+        statements.append(current[name].split("\n")[i].strip())
+    return ShrinkResult(
+        header=header,
+        files=minimized,
+        tests_run=total_tests,
+        assignment_lines=count_assignment_lines(minimized),
+        removed_files=len(files) - len(minimized),
+        removed_lines=len(items) - len(kept_items),
+        statements=statements,
+    )

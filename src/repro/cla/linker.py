@@ -58,7 +58,7 @@ def _absorb_reader(writer: ObjectFileWriter, reader: ObjectFileReader) -> None:
         mine = writer._ensure_block(name)
         mine.assignments.extend(block.assignments)
         if block.function_record is not None:
-            mine.function_record = block.function_record
+            _merge_function_record(mine, block.function_record)
         if block.indirect_record is not None:
             if (
                 mine.indirect_record is None
@@ -68,12 +68,42 @@ def _absorb_reader(writer: ObjectFileWriter, reader: ObjectFileReader) -> None:
                 mine.indirect_record = block.indirect_record
 
 
+def _merge_function_record(mine, theirs) -> None:
+    """Merge a duplicate ``function_record`` for one function block.
+
+    Two object files may both carry a record for the same function — the
+    legitimate case is the *same* definition reaching the linker twice
+    (e.g. an object file linked in two stages).  Conflicting records mean
+    two different definitions of one external function; silently letting
+    the last one win would bind call sites to whichever file happened to
+    come later, so that is a link error (the moral equivalent of
+    ``multiple definition of `f'``).
+    """
+    if mine.function_record is None:
+        mine.function_record = theirs
+        return
+    current = mine.function_record
+    same_shape = (
+        len(current.args) == len(theirs.args)
+        and current.ret == theirs.ret
+        and current.variadic == theirs.variadic
+    )
+    if same_shape and current.location.brief() == theirs.location.brief():
+        return  # identical definition seen twice: keep the first
+    raise LinkError(
+        f"duplicate definition of function '{current.function}': "
+        f"{current.location.brief()} and {theirs.location.brief()}"
+    )
+
+
 def link_units(
     units: Iterable[UnitIR], output_path: str, field_based: bool = True
 ) -> None:
     """Compile-and-link shortcut: lowered units straight to an executable."""
     writer = ObjectFileWriter(field_based=field_based, linked=True)
     for unit in units:
+        # add_unit accumulates writer.source_lines per unit, so the linked
+        # database reports the same line total as the object-file route.
         writer.add_unit(unit)
     writer.write(output_path)
 

@@ -90,7 +90,9 @@ def render_all(
 
 def summarize(result: DependenceResult) -> dict[str, int]:
     """Counts by chain importance, for the report header."""
-    counts = {"direct": 0, "strong": 0, "weak": 0}
+    # Strength.NONE appears on hand-built results (a dependent recorded
+    # with a parent but no flow strength); count it rather than KeyError.
+    counts = {"direct": 0, "strong": 0, "weak": 0, "none": 0}
     for d in result.dependents.values():
         if d.parent is None:
             continue

@@ -174,6 +174,43 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dot", dest="dot_out", metavar="FILE",
                    help="write the dependence forest as Graphviz DOT")
 
+    p = sub.add_parser("check", help="validate a solver run against the "
+                                     "soundness oracle")
+    p.add_argument("inputs", nargs="+", metavar="input",
+                   help="a linked .cla database, or .c sources to "
+                        "compile+link in memory first")
+    p.add_argument("--solver", default="pretransitive",
+                   choices=sorted(SOLVERS))
+    p.add_argument("--all-solvers", action="store_true",
+                   help="run and check every registered solver")
+    p.add_argument("--minimal", action="store_true",
+                   help="also require every target to be address-taken "
+                        "(subset-based solvers only)")
+    p.add_argument("--field-independent", action="store_true",
+                   help="compile .c inputs with the field-independent "
+                        "struct model")
+    _add_ledger_flags(p)
+
+    p = sub.add_parser("fuzz", help="differential fuzzing: all solvers + "
+                                    "oracle on random programs")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--iterations", type=int, default=50)
+    p.add_argument("--max-units", type=int, default=3,
+                   help="cap translation units per generated program")
+    p.add_argument("--scale", type=float, default=0.01,
+                   help="profile scale for generated programs")
+    p.add_argument("--profile", action="append", default=None,
+                   help="restrict to specific benchmark profiles "
+                        "(repeatable; default: all eight)")
+    p.add_argument("--out", default="fuzz-repros",
+                   help="directory for minimized failure reproductions")
+    p.add_argument("--minimal", action="store_true",
+                   help="also run the oracle's minimality check on the "
+                        "subset-based solvers")
+    p.add_argument("--shrink-budget", type=int, default=400,
+                   help="max predicate runs for the delta debugger")
+    _add_ledger_flags(p)
+
     p = sub.add_parser("callgraph", help="whole-program call graph "
                                           "(direct + resolved indirect)")
     p.add_argument("database")
@@ -528,6 +565,102 @@ def _cmd_depend(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from ..checker import check_result
+
+    c_files = [p for p in args.inputs if p.endswith(".c")]
+    if c_files and len(c_files) != len(args.inputs):
+        print("error: cannot mix .c sources with a database",
+              file=sys.stderr)
+        return 2
+    if not c_files and len(args.inputs) != 1:
+        print("error: check takes one database or a set of .c sources",
+              file=sys.stderr)
+        return 2
+    solvers = sorted(SOLVERS) if args.all_solvers else [args.solver]
+    pipeline = Pipeline(CompileOptions(
+        field_based=not args.field_independent
+    ))
+    store = None
+    violations = 0
+    try:
+        with _event_sinks(args.events_out, args.progress):
+            if c_files:
+                sources = {}
+                for path in c_files:
+                    with open(path, "r", errors="replace") as f:
+                        sources[path] = f.read()
+                store = pipeline.link_units(pipeline.compile_units(sources))
+            else:
+                store = pipeline.open_database(args.inputs[0])
+            for solver in solvers:
+                minimal = args.minimal
+                if minimal and SOLVERS[solver].precision != "andersen":
+                    print(f"note: skipping minimality for {solver} "
+                          f"(not a subset-based solver)")
+                    minimal = False
+                result = pipeline.analyze(store, solver)
+                report = check_result(store, result,
+                                      check_minimal=minimal)
+                violations += len(report.violations)
+                print(report.render())
+    finally:
+        if store is not None and hasattr(store, "close"):
+            store.close()
+    return 1 if violations else 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from ..checker import FuzzConfig, run_fuzz
+    from ..synth.profiles import BENCHMARK_ORDER, get_profile
+
+    profiles = tuple(args.profile) if args.profile else tuple(BENCHMARK_ORDER)
+    for name in profiles:
+        try:
+            get_profile(name)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+    config = FuzzConfig(
+        seed=args.seed,
+        iterations=args.iterations,
+        max_units=args.max_units,
+        scale=args.scale,
+        profiles=profiles,
+        out_dir=args.out,
+        check_minimal=args.minimal,
+        shrink_budget=args.shrink_budget,
+    )
+    with _event_sinks(args.events_out, args.progress):
+        m = measure(lambda: run_fuzz(config))
+    outcome = m.result
+    print(
+        f"fuzz: {outcome.iterations_run}/{config.iterations} programs, "
+        f"{outcome.solver_runs} solver runs, "
+        f"{outcome.oracle_checks} oracle checks, "
+        f"seed {config.seed}, {m.real_seconds:.1f}s"
+    )
+    if outcome.ok:
+        print("all solvers agree; no oracle violations")
+        return 0
+    failure = outcome.failure
+    print(
+        f"FAILURE at iteration {failure.iteration} "
+        f"(profile {failure.profile}, seed {failure.case_seed}):",
+        file=sys.stderr,
+    )
+    for description in failure.descriptions:
+        print(f"  {description}", file=sys.stderr)
+    if failure.shrink is not None:
+        print(
+            f"minimized to {failure.shrink.assignment_lines} assignment "
+            f"statement(s) in {len(failure.shrink.files)} file(s)",
+            file=sys.stderr,
+        )
+    print(f"repro written to {failure.repro_dir}", file=sys.stderr)
+    return 1
+
+
 def _cmd_callgraph(args: argparse.Namespace) -> int:
     from ..depend.callgraph import build_call_graph
 
@@ -759,6 +892,8 @@ _COMMANDS = {
     "compile": _cmd_compile,
     "link": _cmd_link,
     "analyze": _cmd_analyze,
+    "check": _cmd_check,
+    "fuzz": _cmd_fuzz,
     "depend": _cmd_depend,
     "callgraph": _cmd_callgraph,
     "dump": _cmd_dump,

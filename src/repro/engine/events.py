@@ -180,6 +180,50 @@ class BlockEvictEvent(Event):
     ts: float = 0.0
 
 
+@dataclass(slots=True)
+class CheckViolationEvent(Event):
+    """The soundness oracle found a constraint the result does not close."""
+
+    KIND: ClassVar[str] = "checker.violation"
+
+    solver: str = ""
+    rule: str = ""  # addr | copy | store | load | store-load | call-arg | ...
+    pointer: str = ""  # the object whose points-to set is deficient
+    missing: int = 0  # how many required targets are absent
+    assignment: str = ""  # rendered source form of the violated constraint
+    location: str = ""
+    ts: float = 0.0
+
+
+@dataclass(slots=True)
+class FuzzCaseEvent(Event):
+    """One differential-fuzz iteration finished (ok or failed)."""
+
+    KIND: ClassVar[str] = "checker.fuzz.case"
+
+    iteration: int = 0
+    seed: int = 0
+    profile: str = ""
+    field_based: bool = True
+    config: str = ""  # the pretransitive toggle combination exercised
+    assignments: int = 0
+    ok: bool = True
+    failures: int = 0
+    ts: float = 0.0
+
+
+@dataclass(slots=True)
+class ShrinkStepEvent(Event):
+    """The delta debugger reduced the failing program (one ddmin win)."""
+
+    KIND: ClassVar[str] = "checker.shrink.step"
+
+    stage: str = ""  # "files" | "lines"
+    remaining: int = 0  # items still in the failing configuration
+    tests: int = 0  # predicate runs so far (running total)
+    ts: float = 0.0
+
+
 # ---------------------------------------------------------------------------
 # The bus
 # ---------------------------------------------------------------------------

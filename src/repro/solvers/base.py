@@ -109,6 +109,16 @@ class BaseSolver:
 
     name = "base"
 
+    #: How the result relates to Andersen's least subset-based model:
+    #: ``"andersen"`` solvers compute it exactly (and must agree bit for
+    #: bit); ``"over"`` solvers compute a sound per-object superset
+    #: (unification merges).  The checker (:mod:`repro.checker`) uses this
+    #: to pick its comparison: exact equality, superset, and whether the
+    #: no-spurious-targets minimality check applies.  Either way the
+    #: result must be a *closed* model, so the soundness oracle applies to
+    #: every solver.
+    precision = "andersen"
+
     #: Worklist solvers count a "round" per pop; emitting an event for
     #: every pop would drown the bus, so their loops emit one
     #: :class:`SolverRoundEvent` per ``_ROUND_EVENT_MASK + 1`` pops

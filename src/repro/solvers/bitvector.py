@@ -30,6 +30,7 @@ class BitVectorSolver(BaseSolver):
     """Worklist Andersen with integer-bitmask points-to sets."""
 
     name = "bitvector"
+    precision = "andersen"
 
     def __init__(self, store: ConstraintStore):
         super().__init__(store)

@@ -71,6 +71,7 @@ class OneLevelFlowSolver(BaseSolver):
     """Das-style hybrid: directional top level, unified below."""
 
     name = "onelevel"
+    precision = "over"  # one-level flow: sound per-object superset of Andersen
 
     def __init__(self, store: ConstraintStore):
         super().__init__(store)

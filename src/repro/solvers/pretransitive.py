@@ -91,6 +91,7 @@ class PreTransitiveSolver(BaseSolver):
     """Field-model-agnostic Andersen solver on a pre-transitive graph."""
 
     name = "pretransitive"
+    precision = "andersen"
 
     def __init__(
         self,

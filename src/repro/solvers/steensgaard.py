@@ -48,6 +48,7 @@ class SteensgaardSolver(BaseSolver):
     """Unification-based points-to analysis on the CLA database."""
 
     name = "steensgaard"
+    precision = "over"  # unification: sound per-object superset of Andersen
 
     def __init__(self, store: ConstraintStore):
         super().__init__(store)

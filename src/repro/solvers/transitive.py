@@ -29,6 +29,7 @@ class TransitiveSolver(BaseSolver):
     """Set-based worklist Andersen baseline."""
 
     name = "transitive"
+    precision = "andersen"
 
     def __init__(self, store: ConstraintStore):
         super().__init__(store)

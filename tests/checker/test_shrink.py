@@ -1,0 +1,71 @@
+"""Tests for the ddmin delta debugger and program shrinker."""
+
+from repro.checker import ddmin, shrink_program
+from repro.checker.shrink import count_assignment_lines
+
+
+class TestDdmin:
+    def test_minimizes_to_known_culprits(self):
+        items = list(range(20))
+        kept, _tests = ddmin(items, lambda c: {3, 12} <= set(c))
+        assert sorted(kept) == [3, 12]
+
+    def test_single_culprit(self):
+        kept, _tests = ddmin(list(range(64)), lambda c: 7 in c)
+        assert kept == [7]
+
+    def test_all_items_needed(self):
+        items = [1, 2, 3, 4]
+        kept, _tests = ddmin(items, lambda c: len(c) == 4)
+        assert kept == items
+
+    def test_budget_bounds_predicate_runs(self):
+        calls = 0
+
+        def expensive(candidate):
+            nonlocal calls
+            calls += 1
+            return 99 in candidate
+
+        kept, tests = ddmin(list(range(100)), expensive, max_tests=5)
+        assert tests <= 5
+        assert calls == tests
+        assert 99 in kept  # partial shrink is still failing
+
+    def test_preserves_order(self):
+        kept, _tests = ddmin([5, 1, 9, 2], lambda c: {5, 2} <= set(c))
+        assert kept == [5, 2]
+
+
+SOURCE = (
+    "#include \"synth.h\"\n"
+    "void fn(void) {\n"
+    "    a = b;\n"
+    "    bug = 1;\n"
+    "    c = d;\n"
+    "    e = f;\n"
+    "}\n"
+)
+
+
+class TestShrinkProgram:
+    def test_shrinks_to_marked_statement(self):
+        files = {"a.c": SOURCE, "b.c": SOURCE.replace("bug = 1;", "x = y;")}
+
+        def predicate(candidate):
+            return any("bug" in text for text in candidate.values())
+
+        result = shrink_program("/* header */", files, predicate)
+        assert list(result.files) == ["a.c"]
+        assert result.removed_files == 1
+        assert result.statements == ["bug = 1;"]
+        assert result.assignment_lines == 1
+        assert result.header == "/* header */"
+        assert "bug = 1;" in result.files["a.c"]
+        assert "a = b;" not in result.files["a.c"]
+        # Scaffolding survives: only body statements are removable.
+        assert "void fn(void) {" in result.files["a.c"]
+
+    def test_count_assignment_lines(self):
+        assert count_assignment_lines({"a.c": SOURCE}) == 4
+        assert count_assignment_lines({"a.c": "int a;\n"}) == 0

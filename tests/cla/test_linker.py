@@ -137,3 +137,55 @@ class TestLinking:
         assert disk_result.points_to("q") == {"x"}
         assert disk_result.points_to("pp") == {"p"}
         disk.close()
+
+
+class TestDuplicateFunctionRecords:
+    def test_conflicting_definitions_rejected(self, tmp_path):
+        """Two object files each defining ``work`` used to merge silently,
+        last record winning; now that is a link error."""
+        a = compile_to(tmp_path, "a.c", "int work(int n) { return n; }")
+        b = compile_to(tmp_path, "b.c", "int work(int n, int m) { return m; }")
+        with pytest.raises(LinkError) as exc:
+            link_object_files([a, b], str(tmp_path / "prog.cla"))
+        message = str(exc.value)
+        assert "work" in message
+        assert "a.c" in message and "b.c" in message
+
+    def test_same_definition_twice_keeps_first(self, tmp_path):
+        """The same object file linked twice is not a conflict: the
+        records are identical, so the first is kept."""
+        a = compile_to(tmp_path, "a.c", "int work(int n) { return n; }")
+        out = str(tmp_path / "prog.cla")
+        link_object_files([a, a], out)
+        with ObjectFileReader(out) as r:
+            record = r.load_block("work").function_record
+            assert record is not None
+            assert record.args == ["work$arg1"]
+
+    def test_declaration_plus_definition_still_links(self, tmp_path):
+        """A declaration-only unit carries no function record; linking it
+        with the defining unit is untouched by the conflict check."""
+        a = compile_to(tmp_path, "a.c", "int work(int n) { return n; }")
+        b = compile_to(tmp_path, "b.c",
+                       "int work(int); void f(void) { work(3); }")
+        out = str(tmp_path / "prog.cla")
+        link_object_files([b, a], out)  # definition last: must not "win"
+        with ObjectFileReader(out) as r:
+            record = r.load_block("work").function_record
+            assert record is not None
+            assert "a.c" in record.location.brief()
+
+
+class TestLinkUnitsSourceLines:
+    def test_link_units_sums_source_lines(self, tmp_path):
+        """Regression pin: the in-memory link shortcut must report the
+        same source-line total as the object-file route."""
+        unit_a = lower_translation_unit(
+            parse_c("int a;\nint b;\n", filename="a.c"))
+        unit_a.source_lines = 2
+        unit_b = lower_translation_unit(parse_c("int c;\n", filename="b.c"))
+        unit_b.source_lines = 3
+        out = str(tmp_path / "prog.cla")
+        link_units([unit_a, unit_b], out)
+        with ObjectFileReader(out) as r:
+            assert r.source_lines == 5

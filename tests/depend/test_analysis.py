@@ -119,7 +119,23 @@ void f(void) {
 
     def test_summary(self):
         _, result, _ = dependents_of(self.SRC, "target", filename="eg1.c")
-        assert summarize(result) == {"direct": 3, "strong": 0, "weak": 0}
+        assert summarize(result) == {"direct": 3, "strong": 0, "weak": 0,
+                                     "none": 0}
+
+    def test_summary_handles_strength_none(self):
+        """Regression: a dependent carrying ``Strength.NONE`` used to
+        KeyError the summary (counts had no "none" bucket)."""
+        from repro.depend.analysis import Dependent, DependenceResult
+
+        result = DependenceResult(targets=["t"], non_targets=frozenset())
+        result.dependents["t"] = Dependent(
+            name="t", strength=Strength.DIRECT, distance=0, parent=None,
+            via=None)
+        result.dependents["x"] = Dependent(
+            name="x", strength=Strength.NONE, distance=1, parent="t",
+            via=None)
+        assert summarize(result) == {"direct": 0, "strong": 0, "weak": 0,
+                                     "none": 1}
 
 
 class TestBestChainSelection:

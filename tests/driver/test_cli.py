@@ -274,3 +274,90 @@ class TestAnalyzeJson:
         assert data["points_to"]["q"] == ["x"]
         assert data["assignments"]["in_file"] >= data["assignments"]["loaded"] or True
         assert data["pointer_variables"] >= 2
+
+
+class TestCheckCli:
+    def test_check_sources_clean(self, sources, capsys):
+        _tmp, a, b = sources
+        assert main(["check", a, b]) == 0
+        out = capsys.readouterr().out
+        assert "pretransitive:" in out
+        assert "0 violation(s)" in out
+
+    def test_check_all_solvers(self, sources, capsys):
+        _tmp, a, b = sources
+        assert main(["check", a, b, "--all-solvers"]) == 0
+        out = capsys.readouterr().out
+        for solver in ("pretransitive", "transitive", "bitvector",
+                       "steensgaard", "onelevel"):
+            assert f"{solver}:" in out
+
+    def test_check_database_with_minimality(self, database, capsys):
+        assert main(["check", database, "--minimal"]) == 0
+
+    def test_minimality_skipped_for_unification(self, database, capsys):
+        assert main(["check", database, "--solver", "steensgaard",
+                     "--minimal"]) == 0
+        out = capsys.readouterr().out
+        assert "skipping minimality" in out
+
+    def test_violation_exits_one(self, sources, capsys, monkeypatch):
+        from repro.solvers import PreTransitiveSolver
+
+        original = PreTransitiveSolver._add_edge
+
+        def buggy(self, src, dst):
+            if not getattr(self, "_dropped_one", False):
+                self._dropped_one = True
+                return False
+            return original(self, src, dst)
+
+        monkeypatch.setattr(PreTransitiveSolver, "_add_edge", buggy)
+        _tmp, a, b = sources
+        assert main(["check", a, b]) == 1
+        out = capsys.readouterr().out
+        assert "violation" in out
+
+    def test_mixed_inputs_rejected(self, sources, database, capsys):
+        _tmp, a, _b = sources
+        assert main(["check", a, database]) == 2
+
+    def test_events_written(self, sources, tmp_path, capsys):
+        _tmp, a, b = sources
+        events = str(tmp_path / "check-events.jsonl")
+        assert main(["check", a, b, "--events", events]) == 0
+        assert '"solver.begin"' in open(events).read()
+
+
+class TestFuzzCli:
+    def test_clean_campaign(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "repros")
+        assert main(["fuzz", "--seed", "7", "--iterations", "2",
+                     "--max-units", "2", "--scale", "0.005",
+                     "--profile", "burlap", "--out", out_dir]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 programs" in out
+        assert "no oracle violations" in out
+
+    def test_unknown_profile_rejected(self, capsys):
+        assert main(["fuzz", "--profile", "nope"]) == 2
+
+    def test_failure_exits_one_with_repro(self, tmp_path, capsys,
+                                          monkeypatch):
+        from repro.solvers import PreTransitiveSolver
+
+        original = PreTransitiveSolver._add_edge
+
+        def buggy(self, src, dst):
+            if not getattr(self, "_dropped_one", False):
+                self._dropped_one = True
+                return False
+            return original(self, src, dst)
+
+        monkeypatch.setattr(PreTransitiveSolver, "_add_edge", buggy)
+        out_dir = str(tmp_path / "repros")
+        assert main(["fuzz", "--seed", "20260806", "--iterations", "16",
+                     "--max-units", "2", "--out", out_dir]) == 1
+        err = capsys.readouterr().err
+        assert "FAILURE at iteration" in err
+        assert "repro written to" in err
