@@ -1,0 +1,112 @@
+"""Microbench for the integer-core set representation.
+
+The bitset refactor's bet is that one arbitrary-precision ``int`` union
+beats per-element frozenset algebra for points-to sets of realistic
+width.  This suite measures both representations on the same randomly
+drawn universes so `BENCH_bitset_ops.json` records the throughput ratio
+alongside the end-to-end solver benches.
+
+Set shapes mirror the solvers' hot operations:
+
+* union-fold (``delta`` merging into ``pts`` across a worklist run);
+* difference propagation's "what is new" (``delta & ~mine``);
+* cardinality (Table 3's relation counting via ``bit_count``).
+"""
+
+import random
+
+from repro.ir.universe import bits, mask_of
+
+UNIVERSE_BITS = 4096  # target-space width of a mid-size profile
+SET_COUNT = 256
+SET_SIZE = 96
+SEED = 42
+
+
+def _draw_sets():
+    rng = random.Random(SEED)
+    return [
+        frozenset(rng.sample(range(UNIVERSE_BITS), SET_SIZE))
+        for _ in range(SET_COUNT)
+    ]
+
+
+_SETS = _draw_sets()
+_MASKS = [mask_of(s) for s in _SETS]
+
+
+def test_union_fold_bitset(benchmark, report):
+    def run():
+        acc = 0
+        for m in _MASKS:
+            acc |= m
+        return acc
+
+    result = benchmark(run)
+    assert set(bits(result)) == frozenset().union(*_SETS)
+    report.append(
+        f"[bitset] union-fold over {SET_COUNT} masks of ~{SET_SIZE} bits "
+        f"in a {UNIVERSE_BITS}-bit universe"
+    )
+
+
+def test_union_fold_frozenset(benchmark, report):
+    """The pre-refactor representation, kept as the comparison anchor."""
+
+    def run():
+        acc = frozenset()
+        for s in _SETS:
+            acc |= s
+        return acc
+
+    result = benchmark(run)
+    assert result == set(bits(_union_all_masks()))
+    report.append("[bitset] frozenset union-fold anchor")
+
+
+def _union_all_masks():
+    acc = 0
+    for m in _MASKS:
+        acc |= m
+    return acc
+
+
+def test_diff_propagation_step_bitset(benchmark, report):
+    """``new = delta & ~mine`` — the per-pop filter of every worklist
+    solver — paired against the set-difference it replaced."""
+    mine = _MASKS[0]
+
+    def run():
+        fresh = 0
+        for delta in _MASKS:
+            fresh |= delta & ~mine
+        return fresh
+
+    result = benchmark(run)
+    assert set(bits(result)) == frozenset().union(*_SETS) - _SETS[0]
+    report.append("[bitset] diff-propagation step (mask & ~mine)")
+
+
+def test_diff_propagation_step_frozenset(benchmark, report):
+    mine = _SETS[0]
+
+    def run():
+        fresh = frozenset()
+        for delta in _SETS:
+            fresh |= delta - mine
+        return fresh
+
+    result = benchmark(run)
+    assert result == frozenset().union(*_SETS) - _SETS[0]
+    report.append("[bitset] frozenset diff-propagation anchor")
+
+
+def test_popcount_bitset(benchmark, report):
+    """Relation counting: one ``bit_count()`` per final mask."""
+
+    def run():
+        return sum(m.bit_count() for m in _MASKS)
+
+    total = benchmark(run)
+    assert total == sum(len(s) for s in _SETS)
+    report.append(f"[bitset] popcount over {SET_COUNT} masks")

@@ -12,12 +12,28 @@ import io
 from ..cfront.source import Location
 from ..ir.lower import UnitIR
 from ..ir.objects import ProgramObject
+from ..ir.objects import ObjectKind
 from ..ir.primitives import (
     CallSiteRecord,
     PrimitiveAssignment,
+    PrimitiveKind,
 )
 from . import objfile as F
 from .store import Block, MemoryStore, simple_name_of, trigger_object
+
+
+def _ensure_fits_byte(enum_cls) -> None:
+    """The on-disk format packs these enums into one-byte slots
+    (OBJECT_ENTRY / ASSIGNMENT_ENTRY); a member above 255 would silently
+    truncate through ``struct``'s range check into a corrupt database, so
+    refuse to serialize instead."""
+    for member in enum_cls:
+        if not 0 <= int(member) <= 0xFF:
+            raise F.ClaFormatError(
+                f"{enum_cls.__name__}.{member.name} = {int(member)} does not"
+                " fit the format's one-byte enum slot (0..255); bump the"
+                " format VERSION and widen the entry struct instead"
+            )
 
 
 class ObjectFileWriter:
@@ -97,8 +113,6 @@ class ObjectFileWriter:
         if block is None:
             obj = self.objects.get(name)
             if obj is None:
-                from ..ir.objects import ObjectKind
-
                 obj = ProgramObject(name=name, kind=ObjectKind.VARIABLE)
                 self.objects[name] = obj
             block = Block(obj=obj)
@@ -112,6 +126,10 @@ class ObjectFileWriter:
             f.write(self.serialize())
 
     def serialize(self) -> bytes:
+        # Growing either enum past a byte requires a format bump, not a
+        # silent truncation.
+        _ensure_fits_byte(ObjectKind)
+        _ensure_fits_byte(PrimitiveKind)
         strtab = F.StringTable()
 
         def loc_refs(loc: Location) -> tuple[int, int]:

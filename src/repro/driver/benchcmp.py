@@ -23,6 +23,12 @@ from ..engine.obs import format_table
 
 BENCH_SCHEMA_VERSION = 1
 DEFAULT_THRESHOLD = 0.15
+#: Absolute noise floor: a delta smaller than this many seconds can never
+#: count as a regression, whatever the ratio says.  Microbenchmarks with
+#: single-microsecond minimums sit at the timer's granularity — a 1.0us ->
+#: 1.5us blip is scheduler jitter, not a code change, and would flake a
+#: hard-fail CI gate.
+DEFAULT_MIN_ABS_DELTA = 50e-6
 
 
 def load_bench(path: str) -> dict:
@@ -52,14 +58,18 @@ class Delta:
 
 
 def compare_docs(
-    base: dict, new: dict, threshold: float = DEFAULT_THRESHOLD
+    base: dict, new: dict, threshold: float = DEFAULT_THRESHOLD,
+    min_abs_delta: float = DEFAULT_MIN_ABS_DELTA,
 ) -> list[Delta]:
     """Compare two BENCH documents benchmark-by-benchmark.
 
     ``threshold`` is the relative band around the baseline: beyond it in
     either direction the delta is a regression or an improvement;
     benchmarks present on only one side report as added/removed rather
-    than failing the gate (suites are allowed to grow).
+    than failing the gate (suites are allowed to grow).  A slowdown must
+    additionally exceed ``min_abs_delta`` seconds to regress, so
+    timer-granularity noise on microsecond benchmarks cannot fail the
+    gate.
     """
     base_b = base.get("benchmarks", {})
     new_b = new.get("benchmarks", {})
@@ -76,7 +86,8 @@ def compare_docs(
         base_min = b["stats"]["min"]
         new_min = n["stats"]["min"]
         ratio = new_min / base_min if base_min > 0 else float("inf")
-        if new_min > base_min * (1.0 + threshold):
+        if (new_min > base_min * (1.0 + threshold)
+                and new_min - base_min > min_abs_delta):
             status = "regression"
         elif new_min < base_min * (1.0 - threshold):
             status = "improvement"
@@ -127,15 +138,16 @@ def run_compare(
     threshold: float = DEFAULT_THRESHOLD,
     warn_only: bool = False,
     out: TextIO | None = None,
+    min_abs_delta: float = DEFAULT_MIN_ABS_DELTA,
 ) -> int:
     """The CLI entry: compare, render, gate.
 
-    Returns 0 when no benchmark regressed (or ``warn_only`` is set, the
-    CI default while baselines season), 1 otherwise.
+    Returns 0 when no benchmark regressed (or ``warn_only`` is set),
+    1 otherwise.
     """
     out = out if out is not None else sys.stdout
     base, new = load_bench(base_path), load_bench(new_path)
-    deltas = compare_docs(base, new, threshold)
+    deltas = compare_docs(base, new, threshold, min_abs_delta)
     print(render_compare(deltas, threshold), file=out)
     bad = regressions(deltas)
     if bad:

@@ -259,6 +259,10 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--warn-only", action="store_true",
                    help="compare: report regressions but exit 0 "
                         "(the CI soft-gate mode)")
+    p.add_argument("--min-abs-delta", type=float, default=None,
+                   help="compare: absolute noise floor in seconds — a "
+                        "slowdown below this never regresses "
+                        "(default 50e-6)")
     p.add_argument("--scale", type=float, default=None,
                    help="override the per-profile default scale")
     p.add_argument("--seed", type=int, default=42)
@@ -754,12 +758,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print("error: bench compare takes exactly two BENCH_*.json "
                   "paths (BASE NEW)", file=sys.stderr)
             return 2
-        from .benchcmp import run_compare
+        from .benchcmp import DEFAULT_MIN_ABS_DELTA, run_compare
 
+        min_abs = (args.min_abs_delta if args.min_abs_delta is not None
+                   else DEFAULT_MIN_ABS_DELTA)
         try:
             return run_compare(
                 args.paths[0], args.paths[1],
                 threshold=args.threshold, warn_only=args.warn_only,
+                min_abs_delta=min_abs,
             )
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)

@@ -374,7 +374,10 @@ class ProgressSink:
         self.stream = stream if stream is not None else sys.stderr
         self.min_interval = min_interval
         self._isatty = bool(getattr(self.stream, "isatty", lambda: False)())
-        self._last_render = 0.0
+        # -inf, not 0.0: time.monotonic() counts from an arbitrary epoch
+        # (boot on Linux), so 0.0 would throttle the first event on a
+        # freshly booted machine.
+        self._last_render = float("-inf")
         self._line_open = False
         # run state
         self._stage = ""

@@ -42,6 +42,12 @@ class SolverStats:
     #: pairs turned into edge-add attempts vs. skipped as already processed
     delta_lvals_processed: int = 0
     lvals_skipped_by_diff: int = 0
+    #: integer-core accounting: dense ids interned into the shared
+    #: ObjectUniverse (node space / target space) and the total machine
+    #: words backing the final points-to bitmasks
+    interned_objects: int = 0
+    interned_targets: int = 0
+    bitset_words: int = 0
     #: CLA load accounting snapshot (Table 3's last three columns)
     blocks_loaded: int = 0
     assignments_in_core: int = 0
@@ -88,11 +94,20 @@ class SolverStats:
             self.assignments_in_file,
         )
 
+    #: field -> registry-name overrides: the integer-core counters publish
+    #: under dotted namespaces (solver.intern.*, solver.bitset.*)
+    _PUBLISH_ALIASES = {
+        "interned_objects": "intern.objects",
+        "interned_targets": "intern.targets",
+        "bitset_words": "bitset.words",
+    }
+
     def publish(self, registry: MetricsRegistry | None = None) -> None:
         """Accumulate these counters into a registry (default: process)."""
         registry = REGISTRY if registry is None else registry
         for name, value in self.counter_fields().items():
             if value:
+                name = self._PUBLISH_ALIASES.get(name, name)
                 registry.counter(f"solver.{name}").add(value)
 
     def render(self) -> str:
@@ -109,6 +124,8 @@ class SolverStats:
             f"cache_misses={self.cache_misses} "
             f"delta_lvals_processed={self.delta_lvals_processed} "
             f"lvals_skipped_by_diff={self.lvals_skipped_by_diff} "
+            f"interned={self.interned_objects}/{self.interned_targets} "
+            f"bitset_words={self.bitset_words} "
             f"blocks_loaded={self.blocks_loaded} "
             f"in_core/loaded/in_file="
             f"{self.assignments_in_core}/{self.assignments_loaded}/"

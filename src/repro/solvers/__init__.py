@@ -15,7 +15,7 @@ All consume a :class:`~repro.cla.store.ConstraintStore` and produce a
 :class:`PointsToResult`.
 """
 
-from .base import BaseSolver, FunPtrLinker, PointsToResult, SolverMetrics, SolverStats
+from .base import BaseSolver, FunPtrLinker, PointsToResult, SolverStats
 from .bitvector import BitVectorSolver
 from .onelevel import OneLevelFlowSolver
 from .pretransitive import PreTransitiveSolver
@@ -31,8 +31,18 @@ SOLVERS = {
 }
 
 __all__ = [
-    "BaseSolver", "FunPtrLinker", "PointsToResult", "SolverMetrics", "SolverStats",
+    "BaseSolver", "FunPtrLinker", "PointsToResult", "SolverStats",
     "BitVectorSolver", "OneLevelFlowSolver", "PreTransitiveSolver",
     "SteensgaardSolver",
     "TransitiveSolver", "SOLVERS",
 ]
+
+
+def __getattr__(name: str):
+    if name == "SolverMetrics":
+        # Deprecated alias; .base owns the warning and the one-release
+        # grace period.
+        from . import base
+
+        return base.SolverMetrics
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,26 +1,32 @@
 """Common solver infrastructure.
 
 Every points-to solver consumes a :class:`~repro.cla.store.ConstraintStore`
-and produces a :class:`PointsToResult`.  Three things are shared here:
+and produces a :class:`PointsToResult`.  Shared here:
 
 * :class:`BaseSolver` — the skeleton all five solvers extend: store +
   uniform :class:`~repro.engine.stats.SolverStats` + function-pointer
-  linker, full-database ingestion for the non-demand solvers, and the
-  :meth:`BaseSolver._finalize` reporting hook that snapshots the CLA load
-  accounting into the stats record and publishes it to the process-wide
-  metrics registry.
+  linker + the interned :class:`~repro.ir.universe.ObjectUniverse`,
+  id-space full-database ingestion for the non-demand solvers
+  (:meth:`BaseSolver._ingest_all_ids`), and the
+  :meth:`BaseSolver._finalize_masks` reporting hook that wraps the final
+  id-space bitmasks in a lazily-decoding result mapping and snapshots the
+  CLA load accounting into the stats record.
 * Analysis-time function-pointer linking (§4: when ``g`` lands in the
   points-to set of a pointer ``f`` used at an indirect call site, link
   ``g$argN = <f>$argN`` and ``<f>$ret = g$ret``) — all solvers need it.
-* :class:`PointsToResult` — the uniform output record.
+* :class:`PointsToResult` — the uniform output record.  Its ``pts``
+  mapping may be a plain dict or a :class:`LazyPointsTo` view over solver
+  bitmasks; both behave identically (``Mapping`` protocol, equality
+  included), so the oracle, tables, report and CLI are agnostic.
 
-``SolverMetrics`` is a deprecated alias of ``SolverStats``; the counters
-formerly private to each solver now live in one schema (see
-docs/OBSERVABILITY.md).
+The deprecated ``SolverMetrics`` alias of ``SolverStats`` has been
+removed; importing it still works for one release via a module
+``__getattr__`` that raises :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 
 from ..cla.store import ConstraintStore, LoadStats
@@ -33,10 +39,66 @@ from ..engine.events import (
 from ..engine.stats import SolverStats
 from ..ir.objects import ObjectKind, ProgramObject
 from ..ir.primitives import PrimitiveKind
+from ..ir.universe import ConstraintBatch, ObjectUniverse, bitset_words
 
-#: Deprecated alias — the uniform per-solver stats record now lives in
-#: :mod:`repro.engine.stats` so benches and the CLI share one schema.
-SolverMetrics = SolverStats
+
+def __getattr__(name: str):
+    if name == "SolverMetrics":
+        import warnings
+
+        warnings.warn(
+            "SolverMetrics is deprecated; use repro.engine.stats.SolverStats"
+            " (removal scheduled for the next release)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return SolverStats
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+class LazyPointsTo(Mapping):
+    """A ``name -> frozenset(names)`` view over id-space bitmasks.
+
+    Keys are eager (the result's object names are needed for the metadata
+    snapshot anyway); values decode on first access through the universe's
+    shared cache, so identical masks yield one frozenset and consumers
+    that only *count* (Table 3) never materialise names at all.
+    """
+
+    __slots__ = ("_masks", "_universe")
+
+    def __init__(self, masks: dict[str, int], universe: ObjectUniverse):
+        self._masks = masks
+        self._universe = universe
+
+    def __getitem__(self, name: str) -> frozenset[str]:
+        return self._universe.decode(self._masks[name])
+
+    def __iter__(self):
+        return iter(self._masks)
+
+    def __len__(self) -> int:
+        return len(self._masks)
+
+    def __contains__(self, name) -> bool:
+        return name in self._masks
+
+    # -- count-only fast paths (no decode) ------------------------------
+
+    def target_count(self, name: str) -> int:
+        """len(pts(name)) without decoding the set."""
+        return self._masks[name].bit_count()
+
+    def mask(self, name: str) -> int:
+        """The raw id-space bitmask (0 if absent)."""
+        return self._masks.get(name, 0)
+
+    def masks(self) -> dict[str, int]:
+        return self._masks
+
+    @property
+    def universe(self) -> ObjectUniverse:
+        return self._universe
 
 
 @dataclass
@@ -44,7 +106,7 @@ class PointsToResult:
     """The output of a points-to analysis."""
 
     solver: str
-    pts: dict[str, frozenset[str]]
+    pts: Mapping[str, frozenset[str]]
     metrics: SolverStats = field(default_factory=SolverStats)
     load_stats: LoadStats = field(default_factory=LoadStats)
     #: Object metadata snapshot for reporting (name -> ProgramObject).
@@ -63,12 +125,20 @@ class PointsToResult:
         """Two pointers may alias iff their points-to sets intersect."""
         return bool(self.points_to(a) & self.points_to(b))
 
+    def _target_counter(self):
+        """len(pts(name)) without decoding, when the mapping supports it."""
+        counter = getattr(self.pts, "target_count", None)
+        if counter is not None:
+            return counter
+        return lambda name: len(self.pts[name])
+
     def pointer_variables(self) -> int:
         """Table 3 column 1: program objects (variables and fields, no
         temporaries) with non-empty points-to sets."""
         count = 0
-        for name, targets in self.pts.items():
-            if not targets:
+        counted = self._target_counter()
+        for name in self.pts:
+            if not counted(name):
                 continue
             obj = self.objects.get(name)
             if obj is not None and obj.kind == ObjectKind.TEMP:
@@ -79,11 +149,12 @@ class PointsToResult:
     def points_to_relations(self) -> int:
         """Table 3 column 2: total points-to set sizes over those objects."""
         total = 0
-        for name, targets in self.pts.items():
+        counted = self._target_counter()
+        for name in self.pts:
             obj = self.objects.get(name)
             if obj is not None and obj.kind == ObjectKind.TEMP:
                 continue
-            total += len(targets)
+            total += counted(name)
         return total
 
     def pointed_by(self) -> dict[str, set[str]]:
@@ -102,9 +173,12 @@ class PointsToResult:
 class BaseSolver:
     """Skeleton shared by all five solvers.
 
-    Subclasses implement ``_ingest(kind, dst, src)`` (constraint intake)
-    and ``solve()``; they report results through :meth:`_finalize`, which
-    is the single seam the stats layer hangs off.
+    Subclasses consume constraints either through the id-space batch
+    (:meth:`_ingest_all_ids`, the non-demand solvers) or by demand-loading
+    blocks themselves (the pre-transitive solver); they report results
+    through :meth:`_finalize_masks` (id-space bitmasks) or
+    :meth:`_finalize` (a prebuilt mapping), the single seam the stats
+    layer hangs off.
     """
 
     name = "base"
@@ -131,6 +205,7 @@ class BaseSolver:
         self.stats = SolverStats(solver=self.name)
         #: Historical alias: counters were formerly ``solver.metrics``.
         self.metrics = self.stats
+        self.universe = ObjectUniverse(store)
         self._linker = FunPtrLinker(store)
         self._funcptrs: set[str] = set()
         self._functions: set[str] = set()
@@ -140,24 +215,19 @@ class BaseSolver:
 
     # -- constraint intake ----------------------------------------------------
 
-    def _ingest(self, kind: PrimitiveKind, dst: str, src: str) -> None:
-        raise NotImplementedError
-
     def _may_point_pair(self, kind: PrimitiveKind, dst: str, src: str) -> bool:
         """Non-pointer value flow is irrelevant to aliasing (§6).  The
         exception is ``x = &y``: the *address* of a non-pointer object is
         still a pointer value (p = &v with short v, §2)."""
-        obj = self.store.get_object(dst)
-        if obj is not None and not obj.may_point:
+        may_point = self.universe.may_point
+        if not may_point(dst):
             return False
-        if kind is not PrimitiveKind.ADDR:
-            sobj = self.store.get_object(src)
-            if sobj is not None and not sobj.may_point:
-                return False
+        if kind is not PrimitiveKind.ADDR and not may_point(src):
+            return False
         return True
 
-    def _ingest_all(self) -> None:
-        """Full (non-demand) loading: statics, then every dynamic block.
+    def _ingest_all_ids(self) -> ConstraintBatch:
+        """Full (non-demand) loading, straight into id space.
 
         The transitively-closed baselines propagate eagerly and have no
         natural point to demand-load from (§4's contrast with prior
@@ -166,15 +236,19 @@ class BaseSolver:
         :class:`~repro.cla.cache.BlockCache` in front of the store keeps
         ``in_core`` bounded here: blocks stream through the cache and are
         evicted behind the scan.
+
+        Names are interned exactly once — the universe's per-name caches
+        are the only place string keys are touched, so a block fetched
+        through any store seam lands in id space without double-interning.
         """
-        for a in self.store.static_assignments():
-            self._ingest(a.kind, a.dst, a.src)
+        batch = ConstraintBatch(self.universe)
+        batch.absorb(self.store.static_assignments())
         for name in list(self.store.block_names()):
             block = self.store.load_block(name)
             if block is None:
                 continue
-            for a in block.assignments:
-                self._ingest(a.kind, a.dst, a.src)
+            batch.absorb(block.assignments)
+        return batch
 
     def _scan_functions(self) -> None:
         """Populate the funcptr/function name sets from store metadata."""
@@ -186,6 +260,7 @@ class BaseSolver:
                 self._funcptrs.add(name)
             if obj.kind == ObjectKind.FUNCTION:
                 self._functions.add(name)
+        self.universe.note_functions(self._functions)
 
     # -- the run-ledger seam ---------------------------------------------------
 
@@ -229,7 +304,22 @@ class BaseSolver:
 
     # -- the shared reporting hook ---------------------------------------------
 
-    def _finalize(self, pts: dict[str, frozenset[str]]) -> PointsToResult:
+    def _finalize_masks(self, masks: dict[str, int]) -> PointsToResult:
+        """Wrap final id-space bitmasks in a lazily-decoding result.
+
+        Values decode back to str-keyed frozensets only on access; Table 3
+        counting goes through popcounts.  The intern/bitset footprint
+        counters are filled here, off the hot path.
+        """
+        universe = self.universe
+        self.stats.interned_objects = len(universe)
+        self.stats.interned_targets = universe.target_count
+        self.stats.bitset_words = sum(
+            bitset_words(mask) for mask in masks.values()
+        )
+        return self._finalize(LazyPointsTo(masks, universe))
+
+    def _finalize(self, pts: Mapping) -> PointsToResult:
         """Build the result record: snapshot the CLA load accounting into
         the uniform stats, publish to the process registry, attach object
         metadata.
@@ -248,8 +338,9 @@ class BaseSolver:
                 stats=self.stats.as_dict(),
             ))
         objects = {}
+        get_object = self.store.get_object
         for name in pts:
-            obj = self.store.get_object(name)
+            obj = get_object(name)
             if obj is not None:
                 objects[name] = obj
         return PointsToResult(

@@ -1,163 +1,33 @@
 """Baseline: subset-based solver with bit-vector points-to sets.
 
 §4 mentions that the CLA infrastructure hosted "an implementation based on
-bit-vectors" among several subset-based points-to implementations.  This
-solver runs the same worklist algorithm as
-:class:`~repro.solvers.transitive.TransitiveSolver` but represents every
-points-to set as an arbitrary-precision integer bitmask, so set union is a
-single ``|`` — fast on dense sets, wasteful on sparse wide ones, which is
-exactly the trade-off the solver-comparison bench shows.
+bit-vectors" among several subset-based points-to implementations.
+Historically this module carried its own interning tables and bitmask
+worklist; the integer-core refactor (ROADMAP item 2) moved exactly that
+representation — dense interned ids, int-bitmask points-to sets — into
+the shared substrate that :class:`~repro.solvers.transitive.TransitiveSolver`
+now runs on, so this solver *is* the baseline worklist algorithm under a
+distinct registry name.  Keeping it separate preserves the paper's
+solver inventory (and lets the comparison bench show the two baselines
+are now representationally identical).
+
+The :func:`bits` helper is re-exported from
+:mod:`repro.ir.universe` for backwards compatibility.
 """
 
 from __future__ import annotations
 
-from collections import deque
-
 from ..cla.store import ConstraintStore
-from ..ir.primitives import PrimitiveKind
-from .base import BaseSolver, PointsToResult
+from ..ir.universe import bits  # noqa: F401  (historical import location)
+from .base import PointsToResult
+from .transitive import TransitiveSolver
 
 
-def bits(mask: int):
-    """Yield the set bit positions of ``mask``."""
-    while mask:
-        low = mask & -mask
-        yield low.bit_length() - 1
-        mask ^= low
-
-
-class BitVectorSolver(BaseSolver):
+class BitVectorSolver(TransitiveSolver):
     """Worklist Andersen with integer-bitmask points-to sets."""
 
     name = "bitvector"
     precision = "andersen"
-
-    def __init__(self, store: ConstraintStore):
-        super().__init__(store)
-        self._ids: dict[str, int] = {}
-        self._names: list[str] = []
-        self._pts: dict[int, int] = {}
-        self._delta: dict[int, int] = {}
-        self._succ: dict[int, set[int]] = {}
-        self._loads_on: dict[int, list[int]] = {}
-        self._stores_on: dict[int, list[int]] = {}
-        self._worklist: deque[int] = deque()
-        self._queued: set[int] = set()
-        self._funcptr_ids: set[int] = set()
-        self._function_mask = 0
-        self._split_counter = 0
-
-    def _id(self, name: str) -> int:
-        i = self._ids.get(name)
-        if i is None:
-            i = len(self._names)
-            self._ids[name] = i
-            self._names.append(name)
-        return i
-
-    def _ingest(self, kind: PrimitiveKind, dst: str, src: str) -> None:
-        if not self._may_point_pair(kind, dst, src):
-            return
-        if kind is PrimitiveKind.COPY:
-            self._add_edge(self._id(src), self._id(dst))
-        elif kind is PrimitiveKind.ADDR:
-            self._add_pts(self._id(dst), 1 << self._id(src))
-        elif kind is PrimitiveKind.LOAD:
-            p = self._id(src)
-            self._loads_on.setdefault(p, []).append(self._id(dst))
-            self.metrics.constraints += 1
-            self._replay(p)
-        elif kind is PrimitiveKind.STORE:
-            p = self._id(dst)
-            self._stores_on.setdefault(p, []).append(self._id(src))
-            self.metrics.constraints += 1
-            self._replay(p)
-        else:  # STORE_LOAD
-            self._split_counter += 1
-            t = f"$sl{self._split_counter}"
-            self._ingest(PrimitiveKind.LOAD, t, src)
-            self._ingest(PrimitiveKind.STORE, dst, t)
-
-    def _replay(self, p: int) -> None:
-        mask = self._pts.get(p, 0)
-        if mask:
-            self._delta[p] = self._delta.get(p, 0) | mask
-            self._enqueue(p)
-
-    def _add_edge(self, src: int, dst: int) -> bool:
-        dsts = self._succ.setdefault(src, set())
-        if dst in dsts:
-            return False
-        dsts.add(dst)
-        self.metrics.edges_added += 1
-        mask = self._pts.get(src, 0)
-        if mask:
-            self._add_pts(dst, mask)
-        return True
-
-    def _add_pts(self, node: int, mask: int) -> None:
-        mine = self._pts.get(node, 0)
-        new = mask & ~mine
-        if not new:
-            return
-        self._pts[node] = mine | new
-        self._delta[node] = self._delta.get(node, 0) | new
-        self._enqueue(node)
-
-    def _enqueue(self, node: int) -> None:
-        if node not in self._queued:
-            self._queued.add(node)
-            self._worklist.append(node)
-
-    def solve(self) -> PointsToResult:
-        self._emit_begin()
-        self._ingest_all()
-        self._collect_funcptrs()
-
-        while self._worklist:
-            self.metrics.rounds += 1
-            if not self.metrics.rounds & self._ROUND_EVENT_MASK:
-                self._emit_round()  # one event per pop batch
-            node = self._worklist.popleft()
-            self._queued.discard(node)
-            delta = self._delta.pop(node, 0)
-            if not delta:
-                continue
-            for dst in self._succ.get(node, ()):
-                self._add_pts(dst, delta)
-            for x in self._loads_on.get(node, ()):
-                for z in bits(delta):
-                    self._add_edge(z, x)
-            for y in self._stores_on.get(node, ()):
-                for z in bits(delta):
-                    self._add_edge(y, z)
-            if node in self._funcptr_ids and (delta & self._function_mask):
-                callees = [self._names[b] for b in bits(delta & self._function_mask)]
-                for dst, src in self._linker.link(self._names[node], callees):
-                    self.metrics.funcptr_links += 1
-                    self._ingest(PrimitiveKind.COPY, dst, src)
-
-        self._emit_round()  # the final (possibly partial) pop batch
-        self.store.discard(self.metrics.constraints)
-        return self._result()
-
-    def _collect_funcptrs(self) -> None:
-        self._scan_functions()
-        for name in self._funcptrs:
-            self._funcptr_ids.add(self._id(name))
-        for name in self._functions:
-            self._function_mask |= 1 << self._id(name)
-        for fp in self._funcptr_ids:
-            self._replay(fp)
-
-    def _result(self) -> PointsToResult:
-        pts: dict[str, frozenset[str]] = {}
-        for node, mask in self._pts.items():
-            name = self._names[node]
-            if name.startswith("$sl"):
-                continue
-            pts[name] = frozenset(self._names[b] for b in bits(mask))
-        return self._finalize(pts)
 
 
 def solve(store: ConstraintStore) -> PointsToResult:

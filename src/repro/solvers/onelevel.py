@@ -42,6 +42,11 @@ in degenerate self-referential systems (``v = &v`` chains) the one-level
 cell merging can union a top-level class whose ``direct`` set Steensgaard
 keeps one level deeper.  Real programs do not exhibit the pattern; the
 test suite pins both facts.
+
+Representation (the integer core, ROADMAP item 2): classes are keyed by
+interned node ids, ``direct`` sets and the propagated values are int
+bitmasks over the shared target space, and the flow-closure worklist is
+pure mask algebra (``out & ~mine``).
 """
 
 from __future__ import annotations
@@ -50,7 +55,13 @@ from collections import deque
 
 from ..cla.store import ConstraintStore
 from ..ir.primitives import PrimitiveKind
+from ..ir.universe import bits
 from .base import BaseSolver, PointsToResult
+
+_COPY = int(PrimitiveKind.COPY)
+_ADDR = int(PrimitiveKind.ADDR)
+_STORE = int(PrimitiveKind.STORE)
+_LOAD = int(PrimitiveKind.LOAD)
 
 
 class _Ecr:
@@ -62,9 +73,9 @@ class _Ecr:
         self.parent: "_Ecr | None" = None
         self.rank = 0
         self.pointee: "_Ecr | None" = None
-        self.direct: set[str] = set()  # lvals assigned straight into here
+        self.direct = 0  # target-space bitmask of lvals assigned here
         self.flow_out: set["_Ecr"] = set()
-        self.members: list[str] = []  # variable names in this class
+        self.members: list[int] = []  # node ids in this class
 
 
 class OneLevelFlowSolver(BaseSolver):
@@ -75,16 +86,17 @@ class OneLevelFlowSolver(BaseSolver):
 
     def __init__(self, store: ConstraintStore):
         super().__init__(store)
-        self._ecrs: dict[str, _Ecr] = {}
+        self._ecrs: dict[int, _Ecr] = {}  # node id -> class
+        self._target_nodes: dict[int, int] = {}  # target id -> node id
 
     # -- union-find -----------------------------------------------------------
 
-    def _ecr(self, name: str) -> _Ecr:
-        e = self._ecrs.get(name)
+    def _ecr(self, node: int) -> _Ecr:
+        e = self._ecrs.get(node)
         if e is None:
             e = _Ecr()
-            e.members.append(name)
-            self._ecrs[name] = e
+            e.members.append(node)
+            self._ecrs[node] = e
         return self._find(e)
 
     @staticmethod
@@ -120,7 +132,7 @@ class OneLevelFlowSolver(BaseSolver):
             x.direct |= y.direct
             x.flow_out |= y.flow_out
             x.members.extend(y.members)
-            y.direct = set()
+            y.direct = 0
             y.flow_out = set()
             y.members = []
             self.metrics.cycles_collapsed += 1
@@ -143,24 +155,30 @@ class OneLevelFlowSolver(BaseSolver):
 
     # -- constraints -----------------------------------------------------------
 
-    def _ingest(self, kind: PrimitiveKind, dst: str, src: str) -> None:
-        if not self._may_point_pair(kind, dst, src):
-            return
+    def _target_node(self, t: int) -> int:
+        node = self._target_nodes.get(t)
+        if node is None:
+            node = self.universe.intern(self.universe.target_name(t))
+            self._target_nodes[t] = node
+        return node
+
+    def _ingest_row(self, kind: int, dst: int, src: int) -> None:
+        """One id-space constraint row (``src`` is a target id for ADDR)."""
         self.metrics.constraints += 1
-        if kind is PrimitiveKind.ADDR:
+        if kind == _ADDR:
             x = self._ecr(dst)
-            x.direct.add(src)
-            self._join(self._pointee(x), self._ecr(src))
-        elif kind is PrimitiveKind.COPY:
+            x.direct |= 1 << src
+            self._join(self._pointee(x), self._ecr(self._target_node(src)))
+        elif kind == _COPY:
             x, y = self._ecr(dst), self._ecr(src)
             self._flow(y, x)
             self._join(self._pointee(x), self._pointee(y))
-        elif kind is PrimitiveKind.STORE:  # *p = y
+        elif kind == _STORE:  # *p = y
             p, y = self._ecr(dst), self._ecr(src)
             cell = self._pointee(p)
             self._flow(y, cell)
             self._join(self._pointee(y), self._pointee(cell))
-        elif kind is PrimitiveKind.LOAD:  # x = *p
+        elif kind == _LOAD:  # x = *p
             x, p = self._ecr(dst), self._ecr(src)
             cell = self._pointee(p)
             self._flow(cell, x)
@@ -171,35 +189,48 @@ class OneLevelFlowSolver(BaseSolver):
             self._flow(q_cell, p_cell)
             self._join(self._pointee(q_cell), self._pointee(p_cell))
 
+    def _ingest_link_copy(self, dst: str, src: str) -> None:
+        """A funcptr-link copy constraint arriving mid-solve, by name."""
+        universe = self.universe
+        if not universe.may_point(dst) or not universe.may_point(src):
+            return
+        self._ingest_row(_COPY, universe.intern(dst), universe.intern(src))
+
     # -- solving ---------------------------------------------------------------
 
     def solve(self) -> PointsToResult:
         self._emit_begin()
-        self._ingest_all()
+        batch = self._ingest_all_ids()
+        for kind, dst, src in batch.rows():
+            self._ingest_row(kind, dst, src)
         self._scan_functions()
 
+        universe = self.universe
+        target_name = universe.target_name
         while True:
             self.metrics.rounds += 1
             pts = self._propagate()
             new_constraints: list[tuple[str, str]] = []
             for fp in self._funcptrs:
-                callees = [o for o in pts.get(fp, frozenset())
-                           if o in self._functions]
+                fp_node = universe.id_of(fp)
+                mask = pts.get(fp_node, 0) if fp_node is not None else 0
+                funcs = mask & universe.function_mask
+                callees = [target_name(b) for b in bits(funcs)]
                 new_constraints.extend(self._linker.link(fp, callees))
             if not new_constraints:
                 self._emit_round()
                 break
             for dst, src in new_constraints:
                 self.metrics.funcptr_links += 1
-                self._ingest(PrimitiveKind.COPY, dst, src)
+                self._ingest_link_copy(dst, src)
             self._emit_round()
 
         self.store.discard(0)
         return self._result(pts)
 
-    def _propagate(self) -> dict[str, frozenset[str]]:
-        """Forward-propagate direct lval sets along flow edges, then read
-        off per-variable points-to sets (the one transitive pass Das pays
+    def _propagate(self) -> dict[int, int]:
+        """Forward-propagate direct lval masks along flow edges, then read
+        off per-node points-to masks (the one transitive pass Das pays
         for his directionality)."""
         roots: dict[int, _Ecr] = {}
         for e in self._ecrs.values():
@@ -209,38 +240,42 @@ class OneLevelFlowSolver(BaseSolver):
             if root.pointee is not None:
                 cell = self._find(root.pointee)
                 roots[id(cell)] = cell
-        value: dict[int, set[str]] = {
-            key: set(root.direct) for key, root in roots.items()
+        value: dict[int, int] = {
+            key: root.direct for key, root in roots.items()
         }
         worklist = deque(roots.values())
         queued = set(roots)
         while worklist:
             node = self._find(worklist.popleft())
             queued.discard(id(node))
-            out = value.get(id(node), set())
+            out = value.get(id(node), 0)
             for succ in list(node.flow_out):
                 succ = self._find(succ)
                 if id(succ) not in value:
                     roots[id(succ)] = succ
-                    value[id(succ)] = set(succ.direct)
+                    value[id(succ)] = succ.direct
                 mine = value[id(succ)]
-                new = out - mine
+                new = out & ~mine
                 if new:
-                    mine |= new
+                    value[id(succ)] = mine | new
                     if id(succ) not in queued:
                         queued.add(id(succ))
                         worklist.append(succ)
-        pts: dict[str, frozenset[str]] = {}
+        pts: dict[int, int] = {}
         for root in roots.values():
-            targets = frozenset(value.get(id(root), ()))
+            targets = value.get(id(root), 0)
             for member in root.members:
                 pts[member] = targets
         return pts
 
-    def _result(self, pts: dict[str, frozenset[str]]) -> PointsToResult:
-        pts = {name: targets for name, targets in pts.items()
-               if not name.startswith("$sl")}
-        return self._finalize(pts)
+    def _result(self, pts: dict[int, int]) -> PointsToResult:
+        name_of = self.universe.name_of
+        masks: dict[str, int] = {}
+        for node, mask in pts.items():
+            name = name_of(node)
+            if not name.startswith("$sl"):
+                masks[name] = mask
+        return self._finalize_masks(masks)
 
 
 def solve(store: ConstraintStore) -> PointsToResult:

@@ -29,16 +29,17 @@ practical (§5: turning both off slows gimp down by a factor "in excess of
 A third optimization goes beyond the paper: **difference propagation**.
 The Figure 5 loop re-walks every lval of every complex assignment each
 round, even lvals already turned into edges in earlier rounds.  Each
-complex assignment instead remembers the set of lval uids it has already
-processed and only handles ``getLvals(n) - seen`` per round — the lval
-sets are interned uid-frozensets, so the delta is one C-level set
-difference instead of a Python loop of duplicate edge-add attempts.
-Correctness is unaffected: for a given constraint the edge peer is fixed
-(``ny`` for ``*x = y``, ``n?y`` for ``x = *y``), so a (constraint, lval)
-pair only ever needs one edge add, and unification preserves the edge by
-merging successor sets.  Staleness repairs exactly like the caching
-optimization: lvals missing from a stale set are not in ``seen`` either,
-and the outer loop's change flag forces another round that picks them up.
+complex assignment instead remembers the mask of lval ids it has already
+processed and only handles ``getLvals(n) & ~seen`` per round — with lval
+sets as int bitmasks over the shared target space (the integer core,
+ROADMAP item 2) the delta is one word-parallel AND-NOT instead of a
+Python loop of duplicate edge-add attempts.  Correctness is unaffected:
+for a given constraint the edge peer is fixed (``ny`` for ``*x = y``,
+``n?y`` for ``x = *y``), so a (constraint, lval) pair only ever needs one
+edge add, and unification preserves the edge by merging successor sets.
+Staleness repairs exactly like the caching optimization: lvals missing
+from a stale mask are not in ``seen`` either, and the outer loop's change
+flag forces another round that picks them up.
 
 All three optimizations are independently toggleable for the ablation
 bench.
@@ -56,6 +57,7 @@ from collections import deque
 
 from ..cla.store import ConstraintStore
 from ..ir.primitives import PrimitiveKind
+from ..ir.universe import bits
 from .base import BaseSolver, PointsToResult
 
 
@@ -71,7 +73,7 @@ class _Node:
     def __init__(self, uid: int, name: str):
         self.uid = uid
         self.name = name
-        self.base: set[int] = set()  # lval object uids
+        self.base = 0  # lval bitmask (target-space ids)
         self.succ: list[_Node] = []
         #: destination uids, for O(1) duplicate-edge checks without
         #: allocating key tuples (the paper's global edge hash, but kept
@@ -79,7 +81,7 @@ class _Node:
         self.succ_uids: set[int] = set()
         self.skip: "_Node | None" = None
         self.cache_token = 0  # 0 = never cached
-        self.cache: frozenset[int] = frozenset()
+        self.cache = 0  # lval bitmask, valid iff cache_token matches
         # Tarjan bookkeeping, stamped per query (never bulk-cleared).
         self.t_stamp = 0
         self.t_index = 0
@@ -115,7 +117,7 @@ class PreTransitiveSolver(BaseSolver):
         #: ``[lval_node, peer_node, is_store, seen]`` record: lvals are
         #: computed over ``lval_node``; edges run ``z -> peer`` for stores
         #: (*x = y) and ``peer -> z`` for loads (x = *y); ``seen`` is the
-        #: set of lval object uids already turned into edges (difference
+        #: bitmask of lval ids already turned into edges (difference
         #: propagation).
         self._complex: list[list] = []
         self._complex_keys: set[tuple[str, str, str]] = set()
@@ -127,16 +129,17 @@ class PreTransitiveSolver(BaseSolver):
         self._ephemeral_token = 0  # counts down for cache-disabled queries
         self._query_stamp = 0
         self._changed = False
-        self._lval_interning: dict[frozenset[int], frozenset[int]] = {}
+        #: mask -> first-seen equal mask object (§5's common-set table);
+        #: sharing the int object keeps equal caches cheap to compare and
+        #: lets the decode cache in the universe collapse them to one
+        #: frozenset.
+        self._lval_interning: dict[int, int] = {}
         self._split_counter = 0
 
-        #: object-uid <-> name maps for lval sets.
-        self._obj_uids: dict[str, int] = {}
-        self._obj_names: list[str] = []
-        #: lval object uid -> its graph node (filled lazily); avoids a
-        #: name round-trip on the hot getLvalsNodes path
-        self._obj_nodes: list["_Node | None"] = []
-        self._may_point_cache: dict[str, bool] = {}
+        #: lval id -> its graph node (filled lazily); avoids a name
+        #: round-trip on the hot getLvalsNodes path.  Ids are the shared
+        #: universe's target space, so masks decode through it.
+        self._obj_nodes: dict[int, _Node] = {}
 
     # ------------------------------------------------------------------
     # Node / object plumbing
@@ -149,19 +152,19 @@ class PreTransitiveSolver(BaseSolver):
             node = _Node(self._uid, name)
             self._nodes[name] = node
             self._uid_nodes.append(node)
+            if not name.startswith("*"):
+                # Canonical names join the shared universe so the
+                # name <-> id round-trip (and intern stats) cover this
+                # solver too; deref placeholders stay private.
+                self.universe.intern(name)
         return self._find(node)
 
     def _deref_node(self, name: str) -> _Node:
         return self._node("*" + name)
 
     def _obj_uid(self, name: str) -> int:
-        uid = self._obj_uids.get(name)
-        if uid is None:
-            uid = len(self._obj_names)
-            self._obj_uids[name] = uid
-            self._obj_names.append(name)
-            self._obj_nodes.append(None)
-        return uid
+        """Target-space id of an address-taken object (shared universe)."""
+        return self.universe.target_id(name)
 
     @staticmethod
     def _find(node: _Node) -> _Node:
@@ -197,7 +200,7 @@ class PreTransitiveSolver(BaseSolver):
             rep.base |= other.base
             rep.succ.extend(other.succ)
             rep.succ_uids |= other.succ_uids
-            other.base = set()
+            other.base = 0
             other.succ = []
             other.succ_uids = set()
             other.skip = rep
@@ -210,16 +213,7 @@ class PreTransitiveSolver(BaseSolver):
     # ------------------------------------------------------------------
 
     def _may_point(self, name: str) -> bool:
-        hit = self._may_point_cache.get(name)
-        if hit is not None:
-            return hit
-        if name.startswith("*") or name.startswith("$sl"):
-            result = True  # synthetic nodes always participate
-        else:
-            obj = self.store.get_object(name)
-            result = obj is None or obj.may_point
-        self._may_point_cache[name] = result
-        return result
+        return self.universe.may_point(name)
 
     def _ensure_loaded(self, name: str) -> None:
         """Demand-load the dynamic block of ``name`` (once).
@@ -269,9 +263,9 @@ class PreTransitiveSolver(BaseSolver):
                 self._ensure_loaded(dst)
         elif kind is PrimitiveKind.ADDR:
             node = self._node(dst)
-            uid = self._obj_uid(src)
-            if uid not in node.base:
-                node.base.add(uid)
+            bit = 1 << self._obj_uid(src)
+            if not node.base & bit:
+                node.base |= bit
                 node.cache_token = 0
                 self._changed = True
             self._ensure_loaded(dst)
@@ -295,14 +289,14 @@ class PreTransitiveSolver(BaseSolver):
             # x = *p: lvals over p, edges n?p -> nz.  The edge nx -> n?p is
             # added once, outside the loop (Figure 5, note on line 7).
             deref = self._deref_node(b)
-            self._complex.append([self._node(b), deref, False, set()])
+            self._complex.append([self._node(b), deref, False, 0])
             self._changed = True
             self._add_edge(self._node(a), deref)
             self._ensure_loaded(a)
         else:
             # *p = y: lvals over p, edges nz -> ny.
             self._complex.append([self._node(a), self._node(b),
-                                  True, set()])
+                                  True, 0])
             self._changed = True
         self._ensure_loaded(b)
 
@@ -315,8 +309,8 @@ class PreTransitiveSolver(BaseSolver):
         node = self._nodes.get(name)
         if node is None:
             return frozenset()
-        uids = self._lvals(self._find(node))
-        return frozenset(self._obj_names[u] for u in uids)
+        mask = self._lvals(self._find(node))
+        return self.universe.decode(mask)
 
     def _query_token(self) -> int:
         """Cache-validity token for one top-level query.
@@ -330,7 +324,7 @@ class PreTransitiveSolver(BaseSolver):
         self._ephemeral_token -= 1
         return self._ephemeral_token
 
-    def _lvals(self, node: _Node) -> frozenset[int]:
+    def _lvals(self, node: _Node) -> int:
         self.stats.lval_queries += 1
         node = self._find(node)
         token = self._query_token()
@@ -342,11 +336,11 @@ class PreTransitiveSolver(BaseSolver):
             return self._lvals_tarjan(node, token)
         return self._lvals_plain(node, token)
 
-    def _intern(self, s: frozenset[int]) -> frozenset[int]:
-        """Share identical lval sets (§5's common-set table)."""
-        return self._lval_interning.setdefault(s, s)
+    def _intern(self, mask: int) -> int:
+        """Share identical lval masks (§5's common-set table)."""
+        return self._lval_interning.setdefault(mask, mask)
 
-    def _lvals_tarjan(self, root: _Node, token: int) -> frozenset[int]:
+    def _lvals_tarjan(self, root: _Node, token: int) -> int:
         """Iterative Tarjan traversal; collapses every cycle it visits.
 
         Nodes whose cache carries the current token act as leaves.  SCCs
@@ -359,7 +353,7 @@ class PreTransitiveSolver(BaseSolver):
         index_counter = 0
         scc_stack: list[_Node] = []
         frames: list[list] = []  # [node, next_child_cursor]
-        pending: dict[int, set[int]] = {}  # uid -> lvals gathered so far
+        pending: dict[int, int] = {}  # uid -> lval mask gathered so far
 
         def push(n: _Node) -> None:
             nonlocal index_counter
@@ -369,11 +363,11 @@ class PreTransitiveSolver(BaseSolver):
             index_counter += 1
             n.t_on_stack = True
             scc_stack.append(n)
-            pending[n.uid] = set(n.base)
+            pending[n.uid] = n.base
             frames.append([n, 0])
 
         push(root)
-        result: frozenset[int] = frozenset()
+        result = 0
         while frames:
             frame = frames[-1]
             node: _Node = frame[0]
@@ -410,12 +404,12 @@ class PreTransitiveSolver(BaseSolver):
                     members.append(m)
                     if m is node:
                         break
-                lvals: set[int] = set()
+                lvals = 0
                 for m in members:
-                    lvals |= pending.pop(m.uid, set())
+                    lvals |= pending.pop(m.uid, 0)
                 if len(members) > 1:
                     self._unify_scc(node, members)
-                final = self._intern(frozenset(lvals))
+                final = self._intern(lvals)
                 node.cache = final
                 node.cache_token = token
                 self.stats.lvals_cached += 1
@@ -431,7 +425,7 @@ class PreTransitiveSolver(BaseSolver):
                     parent.t_low = node.t_low
         return result
 
-    def _lvals_plain(self, root: _Node, token: int) -> frozenset[int]:
+    def _lvals_plain(self, root: _Node, token: int) -> int:
         """No cycle elimination: plain iterative DFS over the reachable set.
 
         Per-node caching inside cycles would be unsound without collapsing
@@ -439,7 +433,7 @@ class PreTransitiveSolver(BaseSolver):
         this ablation is catastrophically slow (§5's >50,000x figure).
         """
         visited: set[int] = {root.uid}
-        lvals: set[int] = set()
+        lvals = 0
         stack = [root]
         while stack:
             node = stack.pop()
@@ -452,7 +446,7 @@ class PreTransitiveSolver(BaseSolver):
                 if child.uid not in visited:
                     visited.add(child.uid)
                     stack.append(child)
-        result = self._intern(frozenset(lvals))
+        result = self._intern(lvals)
         root.cache = result
         root.cache_token = token
         self.stats.lvals_cached += 1
@@ -497,18 +491,18 @@ class PreTransitiveSolver(BaseSolver):
                 if diff:
                     seen = entry[3]
                     if seen:
-                        fresh = lvals - seen
+                        fresh = lvals & ~seen
                         stats.lvals_skipped_by_diff += (
-                            len(lvals) - len(fresh)
+                            lvals.bit_count() - fresh.bit_count()
                         )
                         if not fresh:
                             continue
                     else:
                         fresh = lvals
-                    seen |= fresh
+                    entry[3] = seen | fresh
                 else:
                     fresh = lvals
-                stats.delta_lvals_processed += len(fresh)
+                stats.delta_lvals_processed += fresh.bit_count()
                 peer = entry[1]
                 if peer.skip is not None:
                     entry[1] = peer = self._find(peer)
@@ -535,15 +529,16 @@ class PreTransitiveSolver(BaseSolver):
         self.store.discard(len(self._complex))
         return self._result()
 
-    def _nodes_of(self, uids) -> list[_Node]:
-        """De-skipped graph nodes for a set of lval object uids."""
+    def _nodes_of(self, mask: int) -> list[_Node]:
+        """De-skipped graph nodes for a mask of lval object ids."""
         obj_nodes = self._obj_nodes
+        target_name = self.universe.target_name
         find = self._find
         out = []
-        for uid in uids:
-            cached = obj_nodes[uid]
+        for uid in bits(mask):
+            cached = obj_nodes.get(uid)
             if cached is None:
-                cached = self._node(self._obj_names[uid])
+                cached = self._node(target_name(uid))
                 obj_nodes[uid] = cached
             elif cached.skip is not None:
                 cached = find(cached)
@@ -552,15 +547,14 @@ class PreTransitiveSolver(BaseSolver):
         return out
 
     def _link_function_pointers(self) -> None:
+        universe = self.universe
+        target_name = universe.target_name
         for pointer in list(self._funcptrs):
             node = self._nodes.get(pointer)
             if node is None:
                 continue
-            callees = [
-                name
-                for uid in self._lvals(self._find(node))
-                if (name := self._obj_names[uid]) in self._functions
-            ]
+            funcs = self._lvals(self._find(node)) & universe.function_mask
+            callees = [target_name(b) for b in bits(funcs)]
             for dst, src in self._linker.link(pointer, callees):
                 self.metrics.funcptr_links += 1
                 self._ingest_assignment(PrimitiveKind.COPY, dst, src)
@@ -573,22 +567,17 @@ class PreTransitiveSolver(BaseSolver):
 
     def _result(self) -> PointsToResult:
         # One final pass computes all lvals for all nodes — cheap after
-        # cycle elimination (§5).
+        # cycle elimination (§5).  Masks go out as-is; decoding to names
+        # happens lazily in the result view.
         self._round += 1
         self._cache_token = self._round
         self._lval_interning.clear()
-        pts: dict[str, frozenset[str]] = {}
-        to_names: dict[frozenset[int], frozenset[str]] = {}
+        masks: dict[str, int] = {}
         for name, node in self._nodes.items():
             if name.startswith("*") or name.startswith("$sl"):
                 continue  # synthetic deref/split nodes are not objects
-            uids = self._lvals(self._find(node))
-            cached = to_names.get(uids)
-            if cached is None:
-                cached = frozenset(self._obj_names[u] for u in uids)
-                to_names[uids] = cached
-            pts[name] = cached
-        return self._finalize(pts)
+            masks[name] = self._lvals(self._find(node))
+        return self._finalize_masks(masks)
 
 
 def solve(store: ConstraintStore, **kwargs) -> PointsToResult:

@@ -23,13 +23,24 @@ eagerly (fresh bottom nodes) instead of using conditional joins.  Results
 are identical; the worst-case bound degrades from inverse-Ackermann-linear
 to the same within a constant factor on realistic inputs, and the
 implementation stays a page long.
+
+Representation (the integer core, ROADMAP item 2): ECRs are keyed by
+interned node ids and each class's lval set is an int bitmask over the
+shared target space, so the ``a.lvals |= b.lvals`` merge in ``join`` is
+one word-parallel OR regardless of class size.
 """
 
 from __future__ import annotations
 
 from ..cla.store import ConstraintStore
 from ..ir.primitives import PrimitiveKind
+from ..ir.universe import bits
 from .base import BaseSolver, PointsToResult
+
+_COPY = int(PrimitiveKind.COPY)
+_ADDR = int(PrimitiveKind.ADDR)
+_STORE = int(PrimitiveKind.STORE)
+_LOAD = int(PrimitiveKind.LOAD)
 
 
 class _Ecr:
@@ -41,7 +52,10 @@ class _Ecr:
         self.parent: "_Ecr | None" = None
         self.rank = 0
         self.pointee: "_Ecr | None" = None
-        self.lvals: set[str] = set()  # address-taken objects in this class
+        self.lvals = 0  # target-space bitmask of address-taken objects
+
+    def lval_names(self, universe) -> frozenset[str]:
+        return universe.decode(self.lvals)
 
 
 class SteensgaardSolver(BaseSolver):
@@ -52,15 +66,16 @@ class SteensgaardSolver(BaseSolver):
 
     def __init__(self, store: ConstraintStore):
         super().__init__(store)
-        self._ecrs: dict[str, _Ecr] = {}
+        self._ecrs: dict[int, _Ecr] = {}  # node id -> class
+        self._target_nodes: dict[int, int] = {}  # target id -> node id
 
     # -- union-find -----------------------------------------------------------
 
-    def _ecr(self, name: str) -> _Ecr:
-        e = self._ecrs.get(name)
+    def _ecr(self, node: int) -> _Ecr:
+        e = self._ecrs.get(node)
         if e is None:
             e = _Ecr()
-            self._ecrs[name] = e
+            self._ecrs[node] = e
         return self._find(e)
 
     @staticmethod
@@ -88,7 +103,7 @@ class SteensgaardSolver(BaseSolver):
         if a.rank == b.rank:
             a.rank += 1
         a.lvals |= b.lvals
-        b.lvals = set()
+        b.lvals = 0
         self.metrics.cycles_collapsed += 1  # unifications, for comparison
         pb, b.pointee = b.pointee, None
         if pb is not None:
@@ -115,7 +130,7 @@ class SteensgaardSolver(BaseSolver):
             if a.rank == b.rank:
                 a.rank += 1
             a.lvals |= b.lvals
-            b.lvals = set()
+            b.lvals = 0
             self.metrics.cycles_collapsed += 1
             pb, b.pointee = b.pointee, None
             if pb is not None:
@@ -126,20 +141,26 @@ class SteensgaardSolver(BaseSolver):
 
     # -- constraints -----------------------------------------------------------
 
-    def _ingest(self, kind: PrimitiveKind, dst: str, src: str) -> None:
-        if not self._may_point_pair(kind, dst, src):
-            return
-        if kind is PrimitiveKind.ADDR:
+    def _target_node(self, t: int) -> int:
+        node = self._target_nodes.get(t)
+        if node is None:
+            node = self.universe.intern(self.universe.target_name(t))
+            self._target_nodes[t] = node
+        return node
+
+    def _ingest_row(self, kind: int, dst: int, src: int) -> None:
+        """One id-space constraint row (``src`` is a target id for ADDR)."""
+        if kind == _ADDR:
             p = self._pointee(self._ecr(dst))
-            target = self._join(p, self._ecr(src))
-            target.lvals.add(src)
-        elif kind is PrimitiveKind.COPY:
+            target = self._join(p, self._ecr(self._target_node(src)))
+            target.lvals |= 1 << src
+        elif kind == _COPY:
             self._join(self._pointee(self._ecr(dst)),
                        self._pointee(self._ecr(src)))
-        elif kind is PrimitiveKind.LOAD:
+        elif kind == _LOAD:
             p = self._pointee(self._pointee(self._ecr(src)))
             self._join(self._pointee(self._ecr(dst)), p)
-        elif kind is PrimitiveKind.STORE:
+        elif kind == _STORE:
             p = self._pointee(self._pointee(self._ecr(dst)))
             self._join(p, self._pointee(self._ecr(src)))
         else:  # STORE_LOAD
@@ -148,50 +169,59 @@ class SteensgaardSolver(BaseSolver):
             self._join(a, b)
         self.metrics.constraints += 1
 
+    def _ingest_link_copy(self, dst: str, src: str) -> None:
+        """A funcptr-link copy constraint arriving mid-solve, by name."""
+        universe = self.universe
+        if not universe.may_point(dst) or not universe.may_point(src):
+            return
+        self._ingest_row(_COPY, universe.intern(dst), universe.intern(src))
+
     # -- solving ---------------------------------------------------------------
 
     def solve(self) -> PointsToResult:
         self._emit_begin()
-        self._ingest_all()
+        batch = self._ingest_all_ids()
+        for kind, dst, src in batch.rows():
+            self._ingest_row(kind, dst, src)
         self._scan_functions()
 
         # Function-pointer linking can reveal new callees (a callee's body
         # stores other function addresses); iterate to a fixpoint.  The
         # number of (pointer, callee) pairs bounds the loop.
+        universe = self.universe
+        target_name = universe.target_name
         while True:
             self.metrics.rounds += 1
             new_constraints: list[tuple[str, str]] = []
             for fp in self._funcptrs:
-                pointee = self._pointee(self._ecr(fp))
-                callees = [o for o in pointee.lvals if o in self._functions]
+                pointee = self._pointee(self._ecr(universe.intern(fp)))
+                funcs = pointee.lvals & universe.function_mask
+                callees = [target_name(b) for b in bits(funcs)]
                 new_constraints.extend(self._linker.link(fp, callees))
             if not new_constraints:
                 self._emit_round()
                 break
             for dst, src in new_constraints:
                 self.metrics.funcptr_links += 1
-                self._ingest(PrimitiveKind.COPY, dst, src)
+                self._ingest_link_copy(dst, src)
             self._emit_round()
 
         self.store.discard(0)  # unification keeps no assignments at all
         return self._result()
 
     def _result(self) -> PointsToResult:
-        pts: dict[str, frozenset[str]] = {}
-        cache: dict[int, frozenset[str]] = {}
-        for name in list(self._ecrs):
+        name_of = self.universe.name_of
+        masks: dict[str, int] = {}
+        for node in list(self._ecrs):
+            name = name_of(node)
             if name.startswith("$sl"):
                 continue
-            e = self._find(self._ecrs[name])
+            e = self._find(self._ecrs[node])
             if e.pointee is None:
-                pts[name] = frozenset()
+                masks[name] = 0
                 continue
-            p = self._find(e.pointee)
-            key = id(p)
-            if key not in cache:
-                cache[key] = frozenset(p.lvals)
-            pts[name] = cache[key]
-        return self._finalize(pts)
+            masks[name] = self._find(e.pointee).lvals
+        return self._finalize_masks(masks)
 
 
 def solve(store: ConstraintStore) -> PointsToResult:

@@ -285,6 +285,47 @@ class TestDatabaseStore:
         assert reader.closed
 
 
+class TestEnumWidthGuard:
+    """serialize() refuses enums that no longer fit the one-byte entry
+    slots, instead of silently truncating through struct packing."""
+
+    def test_normal_enums_serialize(self):
+        w = ObjectFileWriter()
+        w.add_assignment(PrimitiveAssignment(
+            kind=PrimitiveKind.ADDR, dst="p", src="x"))
+        assert w.serialize()  # both enums fit a byte today
+
+    def test_wide_member_rejected(self, monkeypatch):
+        import enum
+
+        import repro.cla.writer as writer_mod
+
+        class WidePrimitiveKind(enum.IntEnum):
+            COPY = 0
+            OVERFLOW = 256  # one past the byte slot
+
+        monkeypatch.setattr(writer_mod, "PrimitiveKind", WidePrimitiveKind)
+        w = ObjectFileWriter()
+        with pytest.raises(ClaFormatError) as excinfo:
+            w.serialize()
+        message = str(excinfo.value)
+        assert "WidePrimitiveKind.OVERFLOW" in message
+        assert "one-byte" in message
+
+    def test_negative_member_rejected(self, monkeypatch):
+        import enum
+
+        import repro.cla.writer as writer_mod
+
+        class SignedObjectKind(enum.IntEnum):
+            BOGUS = -1
+
+        monkeypatch.setattr(writer_mod, "ObjectKind", SignedObjectKind)
+        w = ObjectFileWriter()
+        with pytest.raises(ClaFormatError):
+            w.serialize()
+
+
 def test_name_hash_stable():
     assert name_hash("x") == name_hash("x")
     assert name_hash("x") != name_hash("y")

@@ -13,7 +13,7 @@ from repro.cla.store import MemoryStore
 from repro.driver.api import CompileOptions, Project, compile_source
 from repro.engine.obs import MetricsRegistry
 from repro.engine.stats import SolverStats
-from repro.solvers import SOLVERS, SolverMetrics
+from repro.solvers import SOLVERS
 from repro.solvers.base import BaseSolver
 
 FIXTURE = """
@@ -98,8 +98,17 @@ class TestUniformStats:
 
 
 class TestStatsRecord:
-    def test_solvermetrics_is_an_alias(self):
-        assert SolverMetrics is SolverStats
+    def test_solvermetrics_alias_is_deprecated(self):
+        # The alias is gone from the public namespace but importing it
+        # still resolves (to SolverStats) for one release, with a warning.
+        import repro.solvers
+        import repro.solvers.base
+
+        assert "SolverMetrics" not in repro.solvers.__all__
+        with pytest.warns(DeprecationWarning, match="SolverMetrics"):
+            assert repro.solvers.base.SolverMetrics is SolverStats
+        with pytest.warns(DeprecationWarning, match="SolverMetrics"):
+            assert repro.solvers.SolverMetrics is SolverStats
 
     def test_iterations_alias(self):
         stats = SolverStats(rounds=7)

@@ -102,10 +102,10 @@ class TestDifferencePropagation:
     def test_seen_sets_record_processed_lvals(self):
         s = PreTransitiveSolver(store_of(*self.SYSTEM))
         s.solve()
-        # Every complex constraint's seen set holds the lval uids it has
+        # Every complex constraint's seen mask holds the lval ids it has
         # turned into edges: here pts(p) = {a, b} for both constraints.
         for entry in s._complex:
-            assert len(entry[3]) == 2
+            assert entry[3].bit_count() == 2
 
     def test_second_round_skips_processed_pairs(self):
         s = PreTransitiveSolver(store_of(*self.SYSTEM))
@@ -113,7 +113,7 @@ class TestDifferencePropagation:
         assert s.metrics.lvals_skipped_by_diff > 0
         processed = s.metrics.delta_lvals_processed
         # Each (constraint, lval) pair was processed exactly once.
-        assert processed == sum(len(e[3]) for e in s._complex)
+        assert processed == sum(e[3].bit_count() for e in s._complex)
 
     def test_disabled_reprocesses_every_round(self):
         on = PreTransitiveSolver(store_of(*self.SYSTEM))
@@ -125,7 +125,7 @@ class TestDifferencePropagation:
         assert off.metrics.delta_lvals_processed > (
             on.metrics.delta_lvals_processed
         )
-        # Seen sets stay empty when the discipline is off.
+        # Seen masks stay empty when the discipline is off.
         assert all(not e[3] for e in off._complex)
 
 
@@ -136,7 +136,7 @@ class TestLvalInterning:
         ))
         s.solve()
         # Final pass computed lvals for b and c; both equal {t} and must be
-        # the same interned frozenset object.
+        # the same interned mask object.
         lb = s._find(s._nodes["b"]).cache
         lc = s._find(s._nodes["c"]).cache
         assert lb == lc
@@ -147,8 +147,8 @@ class TestLvalInterning:
             (K.ADDR, "p", "a"), (K.STORE, "p", "q"), (K.ADDR, "q", "b"),
         ))
         s.solve()
-        # After solve the intern table holds only the final round's sets.
-        assert all(isinstance(k, frozenset) for k in s._lval_interning)
+        # After solve the intern table holds only the final round's masks.
+        assert all(isinstance(k, int) for k in s._lval_interning)
 
 
 class TestCacheSemantics:
