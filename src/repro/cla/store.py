@@ -292,6 +292,15 @@ class MemoryStore:
                 block.indirect_record = record
         self._call_sites.extend(unit.call_sites)
 
+    def absorb_unit(self, unit: UnitIR) -> None:
+        """Incrementally link one more unit into the store.
+
+        The streaming seam: the huge synth tier compiles units one at a
+        time and absorbs each before generating the next, so a
+        million-line corpus is never materialised in memory at once.
+        """
+        self._absorb(unit)
+
     def _ensure_block(self, name: str) -> Block:
         block = self._blocks.get(name)
         if block is None:

@@ -228,6 +228,30 @@ def bench_rows(doc: dict) -> tuple[list[str], list[list[str]]]:
     return headers, rows
 
 
+def mloc_headline(doc: dict) -> str | None:
+    """The paper's headline metric, from a ``BENCH_mloc.json`` document.
+
+    Picks the best point (highest MLoC of source per second of *solver*
+    time) across the suite's sequential and sharded runs; returns None
+    for non-mloc suites or when no point carries the rate.
+    """
+    if doc.get("suite") != "mloc":
+        return None
+    best_name, best = None, None
+    for name, entry in sorted(doc.get("benchmarks", {}).items()):
+        info = entry.get("extra_info", {})
+        rate = info.get("mloc_per_s")
+        if rate and (best is None or rate > best["mloc_per_s"]):
+            best_name, best = name, info
+    if best is None:
+        return None
+    return (
+        f"Headline: {best['mloc_per_s']:.2f} MLoC/s of solver time "
+        f"({best.get('source_loc', 0):,} source lines in "
+        f"{best.get('solver_s', 0.0):.3f}s, {best_name})"
+    )
+
+
 def render_report(
     trace_path: str | None = None,
     events_path: str | None = None,
@@ -278,5 +302,9 @@ def render_report(
         headers, rows = bench_rows(doc)
         suite = doc.get("suite", path)
         sections.append(table(f"Bench: {suite}", headers, rows))
+        headline = mloc_headline(doc)
+        if headline:
+            sections.append(f"**{headline}**" if fmt == "markdown"
+                            else headline)
 
     return "\n\n".join(sections) + "\n"

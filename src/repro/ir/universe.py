@@ -35,8 +35,10 @@ one shared frozenset (§5's common-set table, now keyed by ints).
 from __future__ import annotations
 
 from array import array
+from collections import OrderedDict
 from typing import Iterable, Iterator
 
+from ..engine.obs import REGISTRY
 from .objects import ProgramObject
 from .primitives import PrimitiveKind
 
@@ -44,6 +46,16 @@ from .primitives import PrimitiveKind
 #: are chunked in 30-bit digits internally; 32 is the reporting convention
 #: (what a C bit-vector implementation would allocate).
 WORD_BITS = 32
+
+#: Entry budget for the per-universe decode cache.  Masks are full
+#: points-to sets, so an unbounded cache retains every distinct set a
+#: long-lived run ever decodes; the bound makes memory proportional to the
+#: working set instead of run length.
+DECODE_CACHE_ENTRIES = 4096
+
+_DECODE_HITS = REGISTRY.counter("solver.decode_cache.hits")
+_DECODE_MISSES = REGISTRY.counter("solver.decode_cache.misses")
+_DECODE_EVICTIONS = REGISTRY.counter("solver.decode_cache.evictions")
 
 
 def bits(mask: int) -> Iterator[int]:
@@ -83,9 +95,21 @@ class CSRGraph:
 
     @classmethod
     def from_pairs(cls, n: int, pairs: Iterable[tuple[int, int]]) -> "CSRGraph":
-        """Build from ``(src, dst)`` edges over node ids ``0..n-1``."""
+        """Build from ``(src, dst)`` edges over node ids ``0..n-1``.
+
+        Duplicate edges are dropped (first occurrence wins, so per-source
+        order is preserved): linking duplicate-inclined units and shard
+        boundary seams repeat COPY rows, and a repeated edge would both
+        inflate ``edge_count``/``degree`` and retry the same propagation
+        every round.
+        """
         counts = [0] * (n + 1)
-        edge_list = list(pairs)
+        seen: set[tuple[int, int]] = set()
+        edge_list = []
+        for pair in pairs:
+            if pair not in seen:
+                seen.add(pair)
+                edge_list.append(pair)
         for src, _dst in edge_list:
             counts[src + 1] += 1
         for i in range(1, n + 1):
@@ -196,11 +220,13 @@ class ObjectUniverse:
 
     __slots__ = (
         "store", "_ids", "names", "_target_ids", "target_names",
-        "_may_point", "_decode_cache", "_function_names", "function_mask",
-        "_temp_counter",
+        "_may_point", "_decode_cache", "_decode_cache_entries",
+        "_function_names", "function_mask", "_temp_counter",
+        "temp_namespace",
     )
 
-    def __init__(self, store=None):
+    def __init__(self, store=None,
+                 decode_cache_entries: int = DECODE_CACHE_ENTRIES):
         self.store = store
         # node space
         self._ids: dict[str, int] = {}
@@ -209,10 +235,17 @@ class ObjectUniverse:
         self._target_ids: dict[str, int] = {}
         self.target_names: list[str] = []
         self._may_point: dict[str, bool] = {}
-        self._decode_cache: dict[int, frozenset[str]] = {}
+        #: LRU over decoded masks, bounded like BlockCache: the budget is
+        #: an entry count, eviction is oldest-first before insert.
+        self._decode_cache: OrderedDict[int, frozenset[str]] = OrderedDict()
+        self._decode_cache_entries = max(1, decode_cache_entries)
         self._function_names: set[str] = set()
         self.function_mask = 0
         self._temp_counter = 0
+        #: Disambiguates ``fresh_temp`` names across universes that will be
+        #: merged by canonical name (shard workers set this to a
+        #: shard-qualified tag; "" keeps the sequential names).
+        self.temp_namespace = ""
 
     # -- node space ------------------------------------------------------
 
@@ -231,10 +264,21 @@ class ObjectUniverse:
     def name_of(self, i: int) -> str:
         return self.names[i]
 
-    def fresh_temp(self, prefix: str = "$sl") -> int:
-        """A fresh synthetic node (store/load split temps, §5)."""
+    def fresh_temp_name(self, prefix: str = "$sl") -> str:
+        """A fresh synthetic temp *name* (store/load split temps, §5).
+
+        The name embeds :attr:`temp_namespace` so two universes with
+        distinct namespaces can never coin the same temp — a bare
+        per-universe counter would let two shard workers both name their
+        (unrelated) first split temp ``$sl1``, and a by-name boundary
+        merge would silently alias them.
+        """
         self._temp_counter += 1
-        return self.intern(f"{prefix}{self._temp_counter}")
+        return f"{prefix}{self.temp_namespace}{self._temp_counter}"
+
+    def fresh_temp(self, prefix: str = "$sl") -> int:
+        """A fresh synthetic node (interned :meth:`fresh_temp_name`)."""
+        return self.intern(self.fresh_temp_name(prefix))
 
     def __len__(self) -> int:
         return len(self.names)
@@ -283,11 +327,19 @@ class ObjectUniverse:
         Identical masks share one frozenset (interning keeps result
         mappings with many equal sets cheap to materialise and compare).
         """
-        cached = self._decode_cache.get(mask)
+        cache = self._decode_cache
+        cached = cache.get(mask)
         if cached is None:
+            _DECODE_MISSES.add()
+            while len(cache) >= self._decode_cache_entries:
+                cache.popitem(last=False)
+                _DECODE_EVICTIONS.add()
             names = self.target_names
             cached = frozenset(names[b] for b in bits(mask))
-            self._decode_cache[mask] = cached
+            cache[mask] = cached
+        else:
+            _DECODE_HITS.add()
+            cache.move_to_end(mask)
         return cached
 
     # -- relevance -------------------------------------------------------

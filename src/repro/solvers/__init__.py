@@ -30,11 +30,19 @@ SOLVERS = {
     "onelevel": OneLevelFlowSolver,
 }
 
+from .shard import (  # noqa: E402  (needs SOLVERS for worker dispatch)
+    ShardPlan,
+    ShardSpec,
+    plan_shards,
+    solve_sharded,
+)
+
 __all__ = [
     "BaseSolver", "FunPtrLinker", "PointsToResult", "SolverStats",
     "BitVectorSolver", "OneLevelFlowSolver", "PreTransitiveSolver",
     "SteensgaardSolver",
     "TransitiveSolver", "SOLVERS",
+    "ShardPlan", "ShardSpec", "plan_shards", "solve_sharded",
 ]
 
 

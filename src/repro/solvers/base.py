@@ -200,6 +200,12 @@ class BaseSolver:
     #: literal outer round.
     _ROUND_EVENT_MASK = 0xFFF
 
+    #: Whether this solver implements the partial-solve protocol below
+    #: (solve_partial / ingest_facts / boundary_masks / finish_partial).
+    #: Required for split-region sharding (:mod:`repro.solvers.shard`);
+    #: unification solvers shard by whole regions and never resume.
+    supports_resume = False
+
     def __init__(self, store: ConstraintStore):
         self.store = store
         self.stats = SolverStats(solver=self.name)
@@ -212,6 +218,39 @@ class BaseSolver:
         #: previous (edges, hits, misses, cycles, delta_lvals, nodes)
         #: snapshot, for per-round event deltas
         self._round_mark = (0, 0, 0, 0, 0, 0)
+
+    # -- the partial-solve protocol (sharded solving, ROADMAP item 3) ------
+
+    def solve_partial(self) -> None:
+        """Run to a *local* fixpoint without finalizing the result.
+
+        First call seeds from the store; later calls re-drain after
+        :meth:`ingest_facts` added boundary facts.  Only resume-capable
+        solvers implement this.
+        """
+        raise NotImplementedError(f"{self.name} cannot resume")
+
+    def ingest_facts(self, facts) -> None:
+        """Add exchanged base facts: ``(pointer, target)`` name pairs,
+        each meaning ``target ∈ pts(pointer)`` (a synthetic ADDR)."""
+        raise NotImplementedError(f"{self.name} cannot resume")
+
+    def ingest_fact_masks(self, masks: dict[str, int]) -> None:
+        """Bulk form of :meth:`ingest_facts`: per-pointer target
+        bitmasks in *this solver's own* target space.  The shard
+        exchange feeds through this path — one int OR per pointer
+        instead of one call per fact."""
+        raise NotImplementedError(f"{self.name} cannot resume")
+
+    def boundary_masks(self, names) -> dict[str, int]:
+        """Current points-to masks (own target space) of ``names``,
+        nonzero entries only.  Valid after :meth:`solve_partial`."""
+        raise NotImplementedError(f"{self.name} cannot resume")
+
+    def finish_partial(self) -> PointsToResult:
+        """Finalize after the last :meth:`solve_partial` (result, stats,
+        load accounting — what :meth:`solve` does after its fixpoint)."""
+        raise NotImplementedError(f"{self.name} cannot resume")
 
     # -- constraint intake ----------------------------------------------------
 

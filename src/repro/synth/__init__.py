@@ -7,8 +7,10 @@ Table 2 row.  See DESIGN.md for the substitution argument.
 
 from .generator import HEADER_NAME, SynthProgram, generate
 from .profiles import BENCHMARK_ORDER, PROFILES, SynthProfile, get_profile
+from .stream import DEFAULT_TARGET_LINES, StreamResult, stream_program
 
 __all__ = [
     "HEADER_NAME", "SynthProgram", "generate",
     "BENCHMARK_ORDER", "PROFILES", "SynthProfile", "get_profile",
+    "DEFAULT_TARGET_LINES", "StreamResult", "stream_program",
 ]

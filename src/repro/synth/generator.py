@@ -60,6 +60,9 @@ class _StructInfo:
     ptr_fields: list[str]
     int_fields: list[str]
     home_file: int = 0
+    #: ordinal within its family (S / C): names like ``sp3`` derive from
+    #: this, not from slicing the (possibly prefixed) tag
+    idx: int = 0
 
 
 @dataclass
@@ -84,6 +87,8 @@ class SynthProgram:
     seed: int
     header: str
     files: dict[str, str]  # filename -> source text (header excluded)
+    #: the program's own header filename (``{name_prefix}synth.h``)
+    header_name: str = HEADER_NAME
 
     def project(self, field_based: bool = True,
                 track_strings: bool = False,
@@ -91,7 +96,7 @@ class SynthProgram:
         options = CompileOptions(field_based=field_based,
                                  struct_model=struct_model,
                                  track_strings=track_strings)
-        options.virtual_files[HEADER_NAME] = self.header
+        options.virtual_files[self.header_name] = self.header
         project = Project(options)
         for name, text in self.files.items():
             project.add_source(name, text)
@@ -100,7 +105,7 @@ class SynthProgram:
     def write_to(self, directory: str) -> list[str]:
         """Write the code base to disk; returns the ``.c`` paths."""
         os.makedirs(directory, exist_ok=True)
-        with open(os.path.join(directory, HEADER_NAME), "w") as f:
+        with open(os.path.join(directory, self.header_name), "w") as f:
             f.write(self.header)
         paths = []
         for name, text in self.files.items():
@@ -127,10 +132,15 @@ def _clusters(pool: list[_Var], size: int = _CLUSTER_SIZE) -> list[list[_Var]]:
 
 
 class _Generator:
-    def __init__(self, profile: SynthProfile, seed: int):
+    def __init__(self, profile: SynthProfile, seed: int,
+                 name_prefix: str = ""):
         self.p = profile
         self.rng = random.Random(seed)
         self.seed = seed
+        #: prepended to every file-scope name, struct tag, and filename;
+        #: "" leaves the output byte-identical to the unprefixed
+        #: generator (committed baselines and fuzz seeds depend on that)
+        self.px = name_prefix
         self.globals: list[list[_Var]] = [[], [], []]  # by level
         self.gclusters_by_file: list[list[list[list[_Var]]]] = []
         self.structs: list[_StructInfo] = []
@@ -164,16 +174,16 @@ class _Generator:
         for i, info in enumerate(self.structs):
             instances = self.instances_by_struct[info.tag]
             fn = self._rand_fn()
-            self._emit(fn, f"sp{i} = &{self.rng.choice(instances)};")
+            self._emit(fn, f"{self.px}sp{i} = &{self.rng.choice(instances)};")
             self._seeded_addrs += 1
             if self.rng.random() < 0.5:
                 fn = self._rand_fn()
-                self._emit(fn, f"sp{i} = &{self.rng.choice(instances)};")
+                self._emit(fn, f"{self.px}sp{i} = &{self.rng.choice(instances)};")
                 self._seeded_addrs += 1
         for k, info in enumerate(self.containers):
             for j in range(2):
                 fn = self._rand_fn()
-                self._emit(fn, f"cp{k} = &ci{k}_{j};")
+                self._emit(fn, f"{self.px}cp{k} = &{self.px}ci{k}_{j};")
                 self._seeded_addrs += 1
 
     def _allocate_variables(self) -> None:
@@ -186,13 +196,13 @@ class _Generator:
         for i in range(n_global):
             level = self.rng.choices((0, 1, 2), weights=(45, 45, 10))[0]
             home = self.rng.randrange(p.files)
-            var = _Var(f"g{level}_{i}", level, True)
+            var = _Var(f"{self.px}g{level}_{i}", level, True)
             self.globals[level].append(var)
             per_file_globals[home][level].append(var)
         for level in (0, 1, 2):
             while len(self.globals[level]) < 3:
                 i = len(self.globals[level])
-                var = _Var(f"gx{level}_{i}", level, True)
+                var = _Var(f"{self.px}gx{level}_{i}", level, True)
                 self.globals[level].append(var)
                 per_file_globals[i % p.files][level].append(var)
         self.gclusters_by_file = [
@@ -202,7 +212,8 @@ class _Generator:
         # Hubs are *not* in any cluster: only the join_factor path reaches
         # them, so that knob alone controls join-point pressure.
         n_hubs = max(1, round(2 + 6 * self.p.join_factor))
-        self.hubs = [_Var(f"hub_{i}", 1, True) for i in range(n_hubs)]
+        self.hubs = [_Var(f"{self.px}hub_{i}", 1, True)
+                     for i in range(n_hubs)]
 
     def _allocate_structs(self) -> None:
         # Container types: a handful of program-wide many-fielded structs
@@ -219,9 +230,10 @@ class _Generator:
         self.containers = []
         for k in range(n_containers):
             info = _StructInfo(
-                tag=f"C{k}",
-                ptr_fields=[f"cf{j}" for j in range(8)],
-                int_fields=["cn0", "cn1"],
+                tag=f"{self.px}C{k}",
+                ptr_fields=[f"{self.px}cf{j}" for j in range(8)],
+                int_fields=[f"{self.px}cn0", f"{self.px}cn1"],
+                idx=k,
             )
             self.containers.append(info)
         self.structs_by_file = [[] for _ in range(self.p.files)]
@@ -229,17 +241,18 @@ class _Generator:
             n_ptr = self.rng.randint(1, 3)
             n_int = self.rng.randint(1, 3)
             info = _StructInfo(
-                tag=f"S{i}",
-                ptr_fields=[f"pf{j}" for j in range(n_ptr)],
-                int_fields=[f"nf{j}" for j in range(n_int)],
+                tag=f"{self.px}S{i}",
+                ptr_fields=[f"{self.px}pf{j}" for j in range(n_ptr)],
+                int_fields=[f"{self.px}nf{j}" for j in range(n_int)],
                 home_file=i % self.p.files,
+                idx=i,
             )
             self.structs.append(info)
             self.structs_by_file[info.home_file].append(i)
         for i, info in enumerate(self.structs):
             for j in range(2):
-                self.struct_instances.append((f"si{i}_{j}", info))
-            self.struct_pointers.append((f"sp{i}", info))
+                self.struct_instances.append((f"{self.px}si{i}_{j}", info))
+            self.struct_pointers.append((f"{self.px}sp{i}", info))
         self.instances_by_struct: dict[str, list[str]] = {}
         for name, info in self.struct_instances:
             self.instances_by_struct.setdefault(info.tag, []).append(name)
@@ -249,7 +262,7 @@ class _Generator:
         n_funcs = max(p.files * 2, min(2000, p.variables // 24))
         locals_per_func = max(3, self._n_local_budget // n_funcs)
         for i in range(n_funcs):
-            fn = _Function(name=f"fn{i}", file_index=i % p.files)
+            fn = _Function(name=f"{self.px}fn{i}", file_index=i % p.files)
             n_params = self.rng.randint(0, 3)
             for j in range(n_params):
                 level = self.rng.choices((0, 1), weights=(40, 60))[0]
@@ -295,7 +308,9 @@ class _Generator:
         nonempty = [c for c in pool if c]
         if nonempty:
             return rng.choice(nonempty)
-        return self.globals[level] or [_Var("g_fallback", level, True)]
+        return self.globals[level] or [
+            _Var(f"{self.px}g_fallback", level, True)
+        ]
 
     def _pick1(self, fn_index: int, level: int) -> _Var:
         cluster = self._cluster_for(fn_index, level)
@@ -380,7 +395,7 @@ class _Generator:
             name = self.rng.choice(self.instances_by_struct[info.tag])
             access = f"{name}."
         else:
-            access = f"sp{info.tag[1:]}->"
+            access = f"{self.px}sp{info.idx}->"
         fields = info.ptr_fields if pointer_field else info.int_fields
         return access + self.rng.choice(fields)
 
@@ -436,9 +451,9 @@ class _Generator:
                 info = self.containers[k]
                 field_name = info.ptr_fields[i % len(info.ptr_fields)]
                 if rng.random() < 0.5:
-                    access = f"ci{k}_{i % 2}.{field_name}"
+                    access = f"{self.px}ci{k}_{i % 2}.{field_name}"
                 else:
-                    access = f"cp{k}->{field_name}"
+                    access = f"{self.px}cp{k}->{field_name}"
                 if rng.random() < 0.5:
                     self._emit(i, f"{access} = {self._pick1(i, 1).name};")
                 else:
@@ -533,7 +548,7 @@ class _Generator:
         if not candidates:
             return
         n_ptrs = max(1, self.p.funcptr_sites // 2)
-        self.funcptr_names = [f"fptr{i}" for i in range(n_ptrs)]
+        self.funcptr_names = [f"{self.px}fptr{i}" for i in range(n_ptrs)]
         for fp in self.funcptr_names:
             for _ in range(2):  # two possible targets each
                 target = rng.choice(candidates)
@@ -554,17 +569,19 @@ class _Generator:
         header = self._render_header()
         files: dict[str, str] = {}
         for file_index in range(self.p.files):
-            files[f"synth_{file_index:03d}.c"] = self._render_file(file_index)
+            name = f"{self.px}synth_{file_index:03d}.c"
+            files[name] = self._render_file(file_index)
         return SynthProgram(
             profile=self.p, seed=self.seed, header=header, files=files,
+            header_name=f"{self.px}{HEADER_NAME}",
         )
 
     def _render_header(self) -> str:
         out = [
             "/* Generated by repro.synth — profile "
             f"{self.p.name!r}, seed {self.seed}. */",
-            "#ifndef SYNTH_H",
-            "#define SYNTH_H",
+            f"#ifndef {self.px.upper()}SYNTH_H",
+            f"#define {self.px.upper()}SYNTH_H",
             "",
         ]
         for info in self.structs + self.containers:
@@ -598,12 +615,12 @@ class _Generator:
             ) or "void"
             out.append(f"{ret} {fn.name}({params});")
         out.append("")
-        out.append("#endif /* SYNTH_H */")
+        out.append(f"#endif /* {self.px.upper()}SYNTH_H */")
         out.append("")
         return "\n".join(out)
 
     def _render_file(self, file_index: int) -> str:
-        out = [f'#include "{HEADER_NAME}"', ""]
+        out = [f'#include "{self.px}{HEADER_NAME}"', ""]
         if file_index == 0:
             # Definitions of all shared globals live in the first file.
             for level in (0, 1, 2):
@@ -681,10 +698,16 @@ class _Generator:
 
 
 def generate(profile: SynthProfile | str, scale: float = 1.0,
-             seed: int = 0) -> SynthProgram:
-    """Generate a synthetic code base for a profile (by name or object)."""
+             seed: int = 0, name_prefix: str = "") -> SynthProgram:
+    """Generate a synthetic code base for a profile (by name or object).
+
+    ``name_prefix`` qualifies every file-scope name, struct tag, and
+    filename (used by the streaming huge tier to concatenate many
+    mini-programs into one store without link-time collisions); the
+    default ``""`` keeps the output byte-identical to earlier releases.
+    """
     if isinstance(profile, str):
         profile = get_profile(profile, scale)
     elif scale != 1.0:
         profile = profile.scaled(scale)
-    return _Generator(profile, seed).build()
+    return _Generator(profile, seed, name_prefix=name_prefix).build()

@@ -1,0 +1,224 @@
+"""The sharded solver path: bit-identity, soundness, and the partition.
+
+The contract (docs/ALGORITHM.md): for every solver and every shard
+count, ``solve_sharded`` computes the *same* points-to fixpoint as the
+sequential solver — partitioning is a wall-clock strategy, never a
+precision knob.  This suite certifies that on every synthetic profile,
+oracle-checks the merged result against the constraint database, pins
+the plan invariants (rows partition exactly; the boundary covers every
+split region), exercises the real fork-process path once, and — via
+hypothesis — shows convergence does not depend on ``plan_shards``'s
+particular cuts: *any* partition of the rows reaches the same fixpoint.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checker import check_result
+from repro.cla.store import MemoryStore
+from repro.ir.primitives import PrimitiveKind
+from repro.solvers import (
+    SOLVERS,
+    ShardPlan,
+    ShardSpec,
+    TransitiveSolver,
+    plan_shards,
+    solve_sharded,
+)
+from repro.synth import BENCHMARK_ORDER, generate
+
+SCALE = 0.02
+SHARD_COUNTS = (1, 2, 4)
+
+_UNITS: dict[str, list] = {}
+_SEQ: dict[tuple, dict] = {}
+
+
+def units(profile: str):
+    if profile not in _UNITS:
+        _UNITS[profile] = generate(
+            profile, scale=SCALE, seed=42
+        ).project().units()
+    return _UNITS[profile]
+
+
+def fresh_store(profile: str) -> MemoryStore:
+    return MemoryStore(units(profile))
+
+
+def nonempty(result) -> dict:
+    """Decoded points-to map, nonempty sets only.
+
+    Sequential and sharded runs may disagree on which pointers carry an
+    *empty* recorded set (a worker materialises nodes the sequential
+    solver never touches and vice versa); the fixpoint itself is the
+    nonempty map.
+    """
+    return {name: pts for name, pts in result.pts.items() if pts}
+
+
+def sequential(profile: str, solver: str) -> dict:
+    key = (profile, solver)
+    if key not in _SEQ:
+        _SEQ[key] = nonempty(SOLVERS[solver](fresh_store(profile)).solve())
+    return _SEQ[key]
+
+
+# -- bit-identity across every profile, solver, and shard count -------------
+
+@pytest.mark.parametrize("profile", BENCHMARK_ORDER)
+@pytest.mark.parametrize("solver", sorted(SOLVERS))
+def test_sharded_bit_identical(profile, solver):
+    expected = sequential(profile, solver)
+    for shards in SHARD_COUNTS:
+        result = solve_sharded(
+            fresh_store(profile), solver=solver, shards=shards, processes=0,
+        )
+        assert nonempty(result) == expected, (
+            f"{solver} diverged at --shards {shards} on {profile}"
+        )
+
+
+@pytest.mark.parametrize("profile", BENCHMARK_ORDER)
+def test_sharded_result_passes_oracle(profile):
+    """The merged result is a closed *and minimal* model of the store."""
+    result = solve_sharded(
+        fresh_store(profile), solver="pretransitive", shards=2, processes=0,
+    )
+    report = check_result(fresh_store(profile), result, check_minimal=True)
+    assert not report.violations, report.violations
+
+
+def test_sharded_fork_processes():
+    """One real multiprocessing run: fork workers, pipes, the lot."""
+    expected = sequential("gcc", "pretransitive")
+    result = solve_sharded(
+        fresh_store("gcc"), solver="pretransitive", shards=2,
+    )
+    assert nonempty(result) == expected
+
+
+# -- plan invariants --------------------------------------------------------
+
+@pytest.mark.parametrize("profile", ["gcc", "lucent"])
+def test_plan_partitions_rows_exactly(profile):
+    store = fresh_store(profile)
+    plan = plan_shards(store, 2)
+    assert sum(spec.rows for spec in plan.shards) == plan.total_rows
+    expected_rows = len(store.static_assignments()) + sum(
+        len(store.load_block(name).assignments)
+        for name in store.block_names()
+    )
+    assert plan.total_rows == expected_rows
+    # Every block lands in exactly one shard.
+    seen: set[str] = set()
+    for spec in plan.shards:
+        assert not (seen & spec.block_rows.keys())
+        seen |= spec.block_rows.keys()
+    assert seen == set(store.block_names())
+
+
+def test_single_shard_plan_is_closed():
+    plan = plan_shards(fresh_store("gcc"), 1)
+    assert len(plan.shards) == 1
+    assert plan.closed
+    assert not plan.boundary
+
+
+def test_split_regions_imply_boundary():
+    plan = plan_shards(fresh_store("lucent"), 2)
+    # lucent's giant flow region must be split at this scale...
+    assert plan.split_regions >= 1
+    assert not plan.closed
+    # ...and every split makes the boundary non-empty.
+    assert plan.boundary
+
+
+def test_unsplit_plan_for_unification_solvers():
+    plan = plan_shards(fresh_store("lucent"), 2, allow_split=False)
+    assert plan.split_regions == 0
+    assert plan.closed
+    assert not plan.boundary
+
+
+def test_non_resume_solver_rejects_open_plan():
+    store = fresh_store("lucent")
+    open_plan = plan_shards(store, 2, allow_split=True)
+    if open_plan.closed:
+        pytest.skip("lucent plan unexpectedly closed at this scale")
+    with pytest.raises(ValueError):
+        solve_sharded(store, solver="steensgaard", shards=2,
+                      plan=open_plan, processes=0)
+
+
+# -- convergence under arbitrary partitions (hypothesis) --------------------
+#
+# plan_shards cuts along region and store-order seams on purpose (fewer
+# exchange rounds), but correctness must not depend on *where* the cuts
+# fall: the exchange loop reaches the same global fixpoint for any
+# partition of the rows, provided the boundary covers every name that
+# can be referenced from more than one shard.  Here the boundary is the
+# safe superset (every name), and the row->shard map is random.
+
+
+def _random_plan(store: MemoryStore, choices: list[bool]) -> ShardPlan:
+    base = plan_shards(store, 1)
+    spec0 = base.shards[0]
+    specs = [ShardSpec(index=0), ShardSpec(index=1)]
+    pick = iter(choices)
+
+    def side() -> ShardSpec:
+        return specs[1] if next(pick, False) else specs[0]
+
+    for a in spec0.statics:
+        spec = side()
+        spec.statics.append(a)
+        spec.rows += 1
+    for name, rows in spec0.block_rows.items():
+        spec = side()
+        spec.block_rows[name] = rows
+        spec.rows += len(rows)
+    names: set[str] = set()
+    for spec in specs:
+        for a in spec.statics:
+            names.update((a.dst, a.src))
+        for rows in spec.block_rows.values():
+            for a in rows:
+                names.update((a.dst, a.src))
+    return ShardPlan(
+        shards=specs,
+        boundary=frozenset(names),
+        regions=base.regions,
+        split_regions=max(1, base.split_regions),
+        total_rows=base.total_rows,
+        target_pool=base.target_pool,
+    )
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.lists(st.booleans(), min_size=0, max_size=64))
+def test_random_partitions_converge(choices):
+    expected = sequential("nethack", "transitive")
+    store = fresh_store("nethack")
+    plan = _random_plan(store, choices)
+    result = solve_sharded(
+        store, solver=TransitiveSolver, shards=2, plan=plan, processes=0,
+    )
+    assert nonempty(result) == expected
+
+
+def test_random_plan_target_pool_matches_addr_order():
+    """The shared target pool is exactly the ADDR sources, store order,
+    first occurrence — the invariant that lets masks cross shards
+    untranslated."""
+    store = fresh_store("nethack")
+    plan = plan_shards(store, 2)
+    seen: list[str] = []
+    rows = list(store.static_assignments())
+    for name in store.block_names():
+        rows.extend(store.load_block(name).assignments)
+    for a in rows:
+        if a.kind is PrimitiveKind.ADDR and a.src not in seen:
+            seen.append(a.src)
+    assert list(plan.target_pool) == seen
