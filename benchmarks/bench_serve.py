@@ -1,0 +1,234 @@
+"""Serving-path benchmarks: the daemon behind ``repro-cla serve``.
+
+Measures the two claims the serving layer makes (docs/SERVING.md): warm
+queries against a held fixpoint are interactive-speed (cache-miss vs
+cache-hit queries/sec), and an additive ``update`` re-solved from the
+previous fixpoint beats a full cold re-solve.  One synth workspace is
+built and solved once per run; the benches time only the request path.
+
+``extra_info`` carries ``queries_per_s`` / ``mode`` / ``speedup`` so the
+emitted BENCH_serve.json (via conftest's ``pytest_sessionfinish``) is
+self-describing for ``repro-cla report --bench``.
+"""
+
+import os
+import tempfile
+import time
+
+from repro.driver.incremental import Workspace
+from repro.serve import ServeSession
+from repro.synth import generate
+
+PROFILE = os.environ.get("REPRO_SERVE_PROFILE", "gcc")
+SCALE = float(os.environ.get("REPRO_SERVE_SCALE", "0.05"))
+QUERY_BATCH = 64
+
+_STATE: dict = {}
+
+
+def serving_session() -> ServeSession:
+    """One warm daemon per bench run (startup cold solve happens once)."""
+    if "session" not in _STATE:
+        program = generate(PROFILE, scale=SCALE, seed=42)
+        tmpdir = tempfile.TemporaryDirectory()
+        workspace = Workspace(cache_dir=os.path.join(tmpdir.name, "cache"))
+        workspace.add_header(program.header_name, program.header)
+        for name, text in program.files.items():
+            workspace.add_source(name, text)
+        start = time.perf_counter()
+        session = ServeSession(workspace=workspace)
+        edit_file = sorted(program.files)[0]
+        _STATE.update(
+            tmpdir=tmpdir,
+            workspace=workspace,
+            session=session,
+            startup_s=time.perf_counter() - start,
+            names=sorted(
+                n for n, pts in session._result.pts.items() if pts
+            )[:QUERY_BATCH],
+            edit_file=edit_file,
+            edit_text=program.files[edit_file],
+            edits=0,
+        )
+    return _STATE["session"]
+
+
+def run_query_batch(session) -> None:
+    for name in _STATE["names"]:
+        response = session.request("points-to", {"name": name})
+        assert response["ok"], response
+
+
+def grown_edit_text() -> str:
+    """The edited unit's next revision: strictly additive, so each
+    update stays on the warm (resume-from-fixpoint) path."""
+    _STATE["edits"] += 1
+    i = _STATE["edits"]
+    _STATE["edit_text"] += (
+        f"\nstatic int __bench_x{i}; static int *__bench_p{i};\n"
+        f"static void __bench_f{i}(void) "
+        f"{{ __bench_p{i} = &__bench_x{i}; }}\n"
+    )
+    return _STATE["edit_text"]
+
+
+def test_serve_query_cold(benchmark, report):
+    """Cache-miss queries: every request decodes masks afresh."""
+    session = serving_session()
+
+    def setup():
+        session._cache.clear()
+        return (), {}
+
+    benchmark.pedantic(lambda: run_query_batch(session),
+                       setup=setup, rounds=5, iterations=1)
+    per_query = benchmark.stats.stats.min / QUERY_BATCH
+    info = {"n_queries": QUERY_BATCH, "cache": "miss",
+            "queries_per_s": 1.0 / per_query if per_query else 0.0,
+            "startup_s": _STATE["startup_s"]}
+    benchmark.extra_info.update(info)
+    report.append(
+        f"[serve] {PROFILE} cold queries: "
+        f"{info['queries_per_s']:.0f} q/s (batch of {QUERY_BATCH})"
+    )
+
+
+def test_serve_query_warm(benchmark, report):
+    """Cache-hit queries: the generation-keyed LRU answers."""
+    session = serving_session()
+    run_query_batch(session)  # prime the cache
+
+    def run():
+        for name in _STATE["names"]:
+            response = session.request("points-to", {"name": name})
+            assert response["ok"] and response["cache_hit"], response
+
+    benchmark.pedantic(run, rounds=5, iterations=1)
+    per_query = benchmark.stats.stats.min / QUERY_BATCH
+    info = {"n_queries": QUERY_BATCH, "cache": "hit",
+            "queries_per_s": 1.0 / per_query if per_query else 0.0}
+    benchmark.extra_info.update(info)
+    report.append(
+        f"[serve] {PROFILE} warm queries: "
+        f"{info['queries_per_s']:.0f} q/s (batch of {QUERY_BATCH})"
+    )
+
+
+def test_serve_update_incremental(benchmark, report):
+    """An additive edit: recompile one unit, relink, resume from the
+    previous fixpoint.  Asserts every round actually took the warm
+    path and compiled exactly the edited unit."""
+    session = serving_session()
+    holder = {}
+
+    def setup():
+        holder["text"] = grown_edit_text()
+        return (), {}
+
+    def run():
+        response = session.request(
+            "update", {"file": _STATE["edit_file"], "text": holder["text"]}
+        )
+        assert response["ok"], response
+        assert response["result"]["mode"] == "warm", response
+        assert response["result"]["compiled"] == 1, response
+        holder["response"] = response
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+    info = {"mode": "warm", "compiled": 1,
+            "reused": holder["response"]["result"]["reused"],
+            "update_s": benchmark.stats.stats.min}
+    benchmark.extra_info.update(info)
+    _STATE["update_s"] = info["update_s"]
+    report.append(
+        f"[serve] {PROFILE} incremental update: "
+        f"{info['update_s'] * 1e3:.1f} ms end to end "
+        f"(1 compiled, {info['reused']} reused)"
+    )
+
+
+def test_serve_resolve_warm(benchmark, report):
+    """Solve-only half of the incremental claim: a warm ``reload``
+    (unchanged content, every object reused) re-solves seeded with the
+    previous fixpoint.  Compare against ``test_serve_resolve_cold`` —
+    identical database, identical zero-compile build, only the solve
+    differs."""
+    session = serving_session()
+
+    def run():
+        response = session.request("reload", {})
+        assert response["ok"], response
+        assert response["result"]["mode"] == "warm", response
+        assert response["result"]["compiled"] == 0, response
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    warm_s = benchmark.stats.stats.min
+    _STATE["warm_resolve_s"] = warm_s
+    benchmark.extra_info.update({"mode": "warm", "resolve_s": warm_s})
+    report.append(
+        f"[serve] {PROFILE} warm re-solve (seeded fixpoint): "
+        f"{warm_s * 1e3:.1f} ms"
+    )
+
+
+def test_serve_resolve_cold(benchmark, report):
+    """The comparison baseline: a forced cold re-solve of the same
+    database (objects all reused, fixpoint recomputed from nothing)."""
+    session = serving_session()
+
+    def run():
+        response = session.request("reload", {"cold": True})
+        assert response["ok"], response
+        assert response["result"]["mode"] == "cold", response
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    cold_s = benchmark.stats.stats.min
+    warm_s = _STATE.get("warm_resolve_s")
+    info = {"mode": "cold", "resolve_s": cold_s}
+    if warm_s:
+        info["speedup_warm_vs_cold"] = cold_s / warm_s
+    benchmark.extra_info.update(info)
+    line = f"[serve] {PROFILE} cold re-solve: {cold_s * 1e3:.1f} ms"
+    if warm_s:
+        line += f" ({info['speedup_warm_vs_cold']:.1f}x the warm re-solve)"
+    report.append(line)
+
+
+def test_serve_cold_start(benchmark, report):
+    """The §4 edit-one-file baseline: with no daemon (and no object
+    cache) an edit costs a full compile-everything + link + solve.
+    The incremental ``update`` above recompiles one unit and resumes
+    from the held fixpoint — that ratio is the serving story."""
+    program = generate(PROFILE, scale=SCALE, seed=42)
+    holder = {"n": 0}
+
+    def run():
+        holder["n"] += 1
+        tmpdir = tempfile.TemporaryDirectory()
+        workspace = Workspace(
+            cache_dir=os.path.join(tmpdir.name, f"cold-{holder['n']}")
+        )
+        workspace.add_header(program.header_name, program.header)
+        for name, text in program.files.items():
+            workspace.add_source(name, text)
+        session = ServeSession(workspace=workspace)
+        assert session.generation == 1
+        session.close()
+        workspace.close()
+        tmpdir.cleanup()
+
+    benchmark.pedantic(run, rounds=2, iterations=1)
+    cold_start_s = benchmark.stats.stats.min
+    update_s = _STATE.get("update_s")
+    info = {"units": len(program.files), "cold_start_s": cold_start_s}
+    if update_s:
+        info["speedup_incremental_vs_cold_start"] = cold_start_s / update_s
+    benchmark.extra_info.update(info)
+    line = (f"[serve] {PROFILE} cold start (compile all "
+            f"{info['units']} units + solve): {cold_start_s * 1e3:.1f} ms")
+    if update_s:
+        line += (f" — incremental update is "
+                 f"{info['speedup_incremental_vs_cold_start']:.1f}x faster")
+    report.append(line)
+    serving_session().close()
+    _STATE["workspace"].close()

@@ -8,6 +8,8 @@ same format as the object files" (§4).
 from __future__ import annotations
 
 import io
+import os
+import tempfile
 
 from ..cfront.source import Location
 from ..ir.lower import UnitIR
@@ -122,8 +124,32 @@ class ObjectFileWriter:
     # -- serialization --------------------------------------------------------
 
     def write(self, path: str) -> None:
-        with open(path, "wb") as f:
-            f.write(self.serialize())
+        """Serialize to ``path`` atomically.
+
+        The bytes land in a same-directory temp file first and are
+        renamed over ``path`` with :func:`os.replace`, so a process
+        killed mid-write can never leave a truncated ``.o``/``.cla`` at
+        the final name — which matters doubly for content-keyed cache
+        paths (:class:`~repro.driver.incremental.Workspace`), where a
+        truncated file at the right name would otherwise be reused on
+        every later build.
+        """
+        data = self.serialize()
+        directory = os.path.dirname(os.path.abspath(path))
+        fd, tmp_path = tempfile.mkstemp(
+            prefix=os.path.basename(path) + ".", suffix=".tmp",
+            dir=directory,
+        )
+        try:
+            with os.fdopen(fd, "wb") as f:
+                f.write(data)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
 
     def serialize(self) -> bytes:
         # Growing either enum past a byte requires a format bump, not a

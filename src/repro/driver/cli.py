@@ -293,6 +293,33 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stats", action="store_true",
                    help="print the process-wide metric counters")
 
+    p = sub.add_parser("serve", help="daemon: solve once, answer "
+                                     "points-to/alias/chain queries warm")
+    p.add_argument("inputs", nargs="+", metavar="input",
+                   help="a linked .cla database, or .c/.h sources for an "
+                        "incremental workspace (update op supported)")
+    p.add_argument("--solver", default="pretransitive",
+                   choices=sorted(SOLVERS))
+    p.add_argument("--http", metavar="[HOST:]PORT",
+                   help="serve HTTP+JSON on this address instead of the "
+                        "stdin/stdout JSONL protocol (PORT 0 picks a "
+                        "free port, printed on stderr)")
+    p.add_argument("--certify", action="store_true",
+                   help="check every incremental re-solve bit-identical "
+                        "to a cold solve and against the soundness "
+                        "oracle before serving it")
+    p.add_argument("--cache-entries", type=int, default=1024,
+                   metavar="N",
+                   help="bound the query-result LRU to N entries "
+                        "(0 disables caching)")
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help="object-file cache directory for workspace mode "
+                        "(default: a temporary directory)")
+    p.add_argument("-I", "--include", action="append", default=[],
+                   help="add an #include search directory "
+                        "(workspace mode)")
+    _add_ledger_flags(p)
+
     p = sub.add_parser("report", help="render a run report from "
                                       "trace/events/bench artifacts")
     p.add_argument("--trace", dest="trace_in", metavar="FILE",
@@ -903,6 +930,95 @@ def _cmd_transform(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from ..serve import (
+        IncrementalSolveError,
+        ServeSession,
+        make_http_server,
+        serve_jsonl,
+    )
+    from .incremental import BuildError, Workspace
+
+    c_files = [p for p in args.inputs if p.endswith((".c", ".h"))]
+    if c_files and len(c_files) != len(args.inputs):
+        print("error: cannot mix .c/.h sources with a database",
+              file=sys.stderr)
+        return 2
+    if not c_files and len(args.inputs) != 1:
+        print("error: serve takes one database or a set of .c/.h sources",
+              file=sys.stderr)
+        return 2
+    host, port = "127.0.0.1", None
+    if args.http:
+        head, sep, tail = args.http.rpartition(":")
+        if head:
+            host = head
+        try:
+            port = int(tail)
+        except ValueError:
+            print(f"error: --http wants [HOST:]PORT (got {args.http!r})",
+                  file=sys.stderr)
+            return 2
+    tracer = Tracer()
+    workspace = None
+    session = None
+    try:
+        with _event_sinks(args.events_out, args.progress):
+            try:
+                if c_files:
+                    workspace = Workspace(
+                        cache_dir=args.cache_dir,
+                        options=CompileOptions(include_dirs=args.include),
+                        tracer=tracer,
+                    )
+                    for path in c_files:
+                        with open(path, "r", errors="replace") as f:
+                            text = f.read()
+                        if path.endswith(".h"):
+                            workspace.add_header(path, text)
+                        else:
+                            workspace.add_source(path, text)
+                    session = ServeSession(
+                        workspace=workspace, solver=args.solver,
+                        cache_entries=args.cache_entries,
+                        certify=args.certify,
+                    )
+                else:
+                    session = ServeSession(
+                        database=args.inputs[0], solver=args.solver,
+                        cache_entries=args.cache_entries,
+                        certify=args.certify, tracer=tracer,
+                    )
+            except BuildError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+            try:
+                if port is None:
+                    serve_jsonl(session)
+                else:
+                    server = make_http_server(session, host, port)
+                    bound_host, bound_port = server.server_address[:2]
+                    print(f"serving http://{bound_host}:{bound_port}",
+                          file=sys.stderr, flush=True)
+                    try:
+                        server.serve_forever(poll_interval=0.1)
+                    except KeyboardInterrupt:
+                        pass
+                    finally:
+                        server.server_close()
+            except IncrementalSolveError as exc:
+                # Integrity failure under --certify: refuse to keep
+                # serving; the last response already went unanswered.
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+    finally:
+        if session is not None:
+            session.close()
+        if workspace is not None:
+            workspace.close()
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     if not (args.trace_in or args.events_in or args.bench_in):
         print("error: report needs at least one of --trace, --events, "
@@ -940,6 +1056,7 @@ _COMMANDS = {
     "synth": _cmd_synth,
     "transform": _cmd_transform,
     "bench": _cmd_bench,
+    "serve": _cmd_serve,
     "report": _cmd_report,
 }
 

@@ -19,8 +19,10 @@ import os
 import tempfile
 from dataclasses import dataclass
 
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 
+from ..cla.objfile import ClaFormatError
+from ..cla.reader import ObjectFileReader
 from ..engine.obs import Tracer
 from ..engine.pipeline import (
     CompileOptions,
@@ -32,6 +34,26 @@ from ..solvers.base import PointsToResult
 
 #: Historical name for the parallel-build worker (now an engine concern).
 _compile_to_path = compile_unit_to_path
+
+
+class BuildError(Exception):
+    """One or more units failed to compile in a :meth:`Workspace.build`.
+
+    Collects *every* failing unit (a parallel batch used to raise on the
+    first ``future.result()``, discarding sibling outcomes), so one build
+    reports all broken files at once.  Units that compiled successfully
+    in the same batch keep their cache entries — fixing the broken files
+    and rebuilding never redoes their work.
+    """
+
+    def __init__(self, failures: list[tuple[str, Exception]]):
+        self.failures = failures
+        lines = "; ".join(
+            f"{filename}: {error}" for filename, error in failures
+        )
+        count = len(failures)
+        noun = "unit" if count == 1 else "units"
+        super().__init__(f"{count} {noun} failed to compile: {lines}")
 
 
 @dataclass
@@ -129,6 +151,29 @@ class Workspace:
         h.update(filename.encode())
         return h.hexdigest()[:24]
 
+    @staticmethod
+    def _usable_object(path: str) -> bool:
+        """Is the cached object at ``path`` present and structurally valid?
+
+        Atomic writes (:meth:`~repro.cla.writer.ObjectFileWriter.write`)
+        keep *this* workspace from producing truncated objects, but the
+        cache directory is shared and persistent — a file planted or
+        mangled by anything else would otherwise be reused forever, since
+        its name *is* its content key.  Opening the reader validates
+        size, magic, version and section bounds without parsing content.
+        """
+        try:
+            ObjectFileReader(path).close()
+        except (ClaFormatError, OSError):
+            return False
+        return True
+
+    def _discard_object(self, path: str) -> None:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
     def build(self, jobs: int | None = None) -> str:
         """Compile what changed, relink if anything did; returns the
         executable database path.
@@ -136,6 +181,10 @@ class Workspace:
         ``jobs`` defaults to every core (``os.cpu_count()``); values above
         one compile the outdated files in parallel worker processes —
         sound because CLA object files are per-file and independent.
+
+        A failing unit does not abort the batch: every other pending unit
+        still compiles (and commits its cache entry), then one
+        :class:`BuildError` reports all failures together.
         """
         jobs = resolve_jobs(jobs)
         self.stats = WorkspaceStats(builds=self.stats.builds + 1)
@@ -149,16 +198,28 @@ class Workspace:
             if entry.content_key == key and entry.object_path \
                     and os.path.exists(entry.object_path):
                 self.stats.reused += 1
-            elif os.path.exists(object_path):
+            elif self._usable_object(object_path):
                 # Another build of identical content (e.g. an undone edit).
                 entry.content_key = key
                 entry.object_path = object_path
                 self.stats.reused += 1
                 changed = True
             else:
+                # Never compiled — or a corrupt/truncated file squats at
+                # the content-keyed path and must not be reused.
+                if os.path.exists(object_path):
+                    self._discard_object(object_path)
                 pending.append((filename, entry, key, object_path))
                 changed = True
             object_paths.append(object_path)
+        failures: list[tuple[str, Exception]] = []
+
+        def commit(filename: str, entry: _SourceEntry, key: str,
+                   object_path: str) -> None:
+            entry.content_key = key
+            entry.object_path = object_path
+            self.stats.compiled += 1
+
         if pending:
             with self.pipeline.tracer.span(
                 "compile", files=len(pending), jobs=jobs
@@ -166,21 +227,36 @@ class Workspace:
                 if jobs > 1 and len(pending) > 1:
                     workers = min(jobs, len(pending))
                     with ProcessPoolExecutor(max_workers=workers) as pool:
-                        futures = [
-                            pool.submit(compile_unit_to_path, filename,
-                                        entry.text, object_path, self.options)
-                            for filename, entry, _key, object_path in pending
-                        ]
-                        for future in futures:
-                            future.result()
+                        futures = {}
+                        for item in pending:
+                            filename, entry, _key, object_path = item
+                            futures[pool.submit(
+                                compile_unit_to_path, filename, entry.text,
+                                object_path, self.options,
+                            )] = item
+                        for future in as_completed(futures):
+                            filename, entry, key, object_path = \
+                                futures[future]
+                            try:
+                                future.result()
+                            except Exception as exc:
+                                failures.append((filename, exc))
+                            else:
+                                commit(filename, entry, key, object_path)
                 else:
-                    for filename, entry, _key, object_path in pending:
-                        compile_unit_to_path(filename, entry.text, object_path,
-                                             self.options)
-            for filename, entry, key, object_path in pending:
-                entry.content_key = key
-                entry.object_path = object_path
-                self.stats.compiled += 1
+                    for filename, entry, key, object_path in pending:
+                        try:
+                            compile_unit_to_path(
+                                filename, entry.text, object_path,
+                                self.options,
+                            )
+                        except Exception as exc:
+                            failures.append((filename, exc))
+                        else:
+                            commit(filename, entry, key, object_path)
+        if failures:
+            failures.sort(key=lambda pair: pair[0])
+            raise BuildError(failures)
         if not object_paths:
             raise ValueError("workspace has no sources")
         executable = os.path.join(self.cache_dir, "workspace.cla")

@@ -206,6 +206,65 @@ def cache_rows(records: list[dict]) -> tuple[list[str], list[list[str]]]:
     return headers, rows
 
 
+def serve_rows(
+    records: list[dict],
+) -> tuple[tuple[list[str], list[list[str]]],
+           tuple[list[str], list[list[str]]]]:
+    """The serving section: per-op latency/hit-rate from ``serve.query``
+    records and one row per ``serve.reload``.
+
+    Returns ``(queries_table, reloads_table)``, either of which may have
+    no rows (a ledger without a serve daemon in it)."""
+    per_op: dict[str, dict[str, float]] = {}
+    op_order: list[str] = []
+    reload_rows: list[list[str]] = []
+    for r in records:
+        kind = r.get("kind")
+        if kind == "serve.query":
+            op = str(r.get("op", "?"))
+            agg = per_op.get(op)
+            if agg is None:
+                agg = per_op[op] = {
+                    "count": 0, "hits": 0, "errors": 0,
+                    "total_ms": 0.0, "max_ms": 0.0,
+                }
+                op_order.append(op)
+            agg["count"] += 1
+            agg["hits"] += bool(r.get("cache_hit"))
+            agg["errors"] += not r.get("ok", True)
+            wall = float(r.get("wall_ms", 0.0))
+            agg["total_ms"] += wall
+            if wall > agg["max_ms"]:
+                agg["max_ms"] = wall
+        elif kind == "serve.reload":
+            reload_rows.append([
+                str(r.get("generation", 0)),
+                str(r.get("mode", "?")),
+                str(r.get("compiled", 0)),
+                str(r.get("reused", 0)),
+                "yes" if r.get("certified") else "no",
+                f"{r.get('wall_s', 0.0):.3f}s",
+            ])
+    query_headers = ["op", "queries", "cache hits", "hit rate", "errors",
+                     "mean ms", "max ms"]
+    query_rows = []
+    for op in op_order:
+        agg = per_op[op]
+        count = agg["count"]
+        query_rows.append([
+            op,
+            str(count),
+            str(agg["hits"]),
+            f"{agg['hits'] / count:.1%}" if count else "-",
+            str(agg["errors"]),
+            f"{agg['total_ms'] / count:.3f}" if count else "-",
+            f"{agg['max_ms']:.3f}",
+        ])
+    reload_headers = ["generation", "mode", "compiled", "reused",
+                      "certified", "wall"]
+    return (query_headers, query_rows), (reload_headers, reload_rows)
+
+
 def counter_rows(trace: dict) -> tuple[list[str], list[list[str]]]:
     headers = ["counter", "value"]
     rows = [[name, str(value)]
@@ -296,6 +355,11 @@ def render_report(
         headers, rows = cache_rows(records)
         if any(r[1] not in ("", "0") for r in rows):
             sections.append(table("CLA load accounting", headers, rows))
+        queries, reloads = serve_rows(records)
+        if queries[1]:
+            sections.append(table("Serving: queries", *queries))
+        if reloads[1]:
+            sections.append(table("Serving: reloads", *reloads))
 
     for path in bench_paths or ():
         doc = load_bench(path)

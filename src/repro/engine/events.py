@@ -225,6 +225,42 @@ class BlockEvictEvent(Event):
 
 
 @dataclass(slots=True)
+class ServeQueryEvent(Event):
+    """One query answered by the serve daemon (warm-fixpoint API)."""
+
+    KIND: ClassVar[str] = "serve.query"
+
+    op: str = ""  # points-to | alias | chain | stats | ...
+    solver: str = ""
+    generation: int = 0  # database generation the answer came from
+    cache_hit: bool = False
+    ok: bool = True
+    wall_ms: float = 0.0
+    ts: float = 0.0
+
+
+@dataclass(slots=True)
+class ServeReloadEvent(Event):
+    """The serve daemon re-solved after an update/reload.
+
+    ``mode`` records the re-solve path: ``"warm"`` resumed from the
+    previous fixpoint (additive constraint delta, resume-capable solver),
+    ``"cold"`` solved from scratch.  Either way the generation bumped, so
+    every older query-cache entry is unreachable."""
+
+    KIND: ClassVar[str] = "serve.reload"
+
+    generation: int = 0
+    solver: str = ""
+    mode: str = "cold"  # "warm" | "cold"
+    compiled: int = 0  # units recompiled by the workspace build
+    reused: int = 0  # units served from the content-keyed cache
+    certified: bool = False  # cold-solve bit-identity + oracle ran
+    wall_s: float = 0.0
+    ts: float = 0.0
+
+
+@dataclass(slots=True)
 class CheckViolationEvent(Event):
     """The soundness oracle found a constraint the result does not close."""
 
@@ -501,6 +537,20 @@ class ProgressSink:
                 f"({event.assignments} assignments), "
                 f"in core {event.in_core}",
                 throttled=True,
+            )
+        elif kind == "serve.query":
+            hit = "hit" if event.cache_hit else "miss"
+            self._render(
+                f"[serve] {event.op} (gen {event.generation}, {hit}) "
+                f"{event.wall_ms:.2f}ms",
+                throttled=True,
+            )
+        elif kind == "serve.reload":
+            self._render(
+                f"[serve] reload -> gen {event.generation} "
+                f"({event.mode}: {event.compiled} compiled, "
+                f"{event.reused} reused) in {event.wall_s:.2f}s",
+                final=True,
             )
 
     def _on_stage(self, event: StageEvent) -> None:

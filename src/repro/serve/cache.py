@@ -1,0 +1,87 @@
+"""Bounded LRU cache for serve-daemon query results.
+
+Keys are full query identities — ``(generation, op, canonical args,
+solver)`` — so a reload can never serve a stale entry even if pruning
+lagged: a bumped generation changes every key.  Pruning still happens
+(:meth:`QueryCache.drop_before`) so dead generations don't squat in the
+bounded capacity.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable
+
+from ..engine.obs import REGISTRY
+
+_HITS = REGISTRY.counter("serve.query_cache.hits")
+_MISSES = REGISTRY.counter("serve.query_cache.misses")
+_EVICTIONS = REGISTRY.counter("serve.query_cache.evictions")
+
+_MISSING = object()
+
+
+class QueryCache:
+    """An LRU mapping bounded to ``max_entries`` results.
+
+    Not thread-safe on its own; :class:`~repro.serve.session.ServeSession`
+    holds its lock around every access.
+    """
+
+    def __init__(self, max_entries: int = 1024):
+        if max_entries < 0:
+            raise ValueError(f"max_entries must be >= 0, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable) -> Any:
+        """The cached value, or ``None`` on a miss (values are dict
+        payloads, never ``None``)."""
+        value = self._entries.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            _MISSES.add()
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        _HITS.add()
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if self.max_entries == 0:
+            return
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            _EVICTIONS.add()
+
+    def drop_before(self, generation: int) -> int:
+        """Prune entries from generations older than ``generation``.
+
+        Keys lead with their generation; correctness never depends on this
+        (old keys can no longer be *asked for*), it just frees capacity.
+        """
+        stale = [k for k in self._entries if k[0] < generation]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

@@ -1,0 +1,101 @@
+"""The HTTP+JSON transport: the same protocol behind ``POST /query``.
+
+Stdlib-only (:class:`http.server.ThreadingHTTPServer`); the session's own
+lock serialises request handling, so concurrent HTTP clients are safe.
+
+Routes:
+
+* ``POST /query`` — body is one protocol request object; response is the
+  protocol envelope.  A ``shutdown`` op answers, then stops the server.
+* ``GET /stats``   — shorthand for ``{"op": "stats"}``.
+* ``GET /healthz`` — liveness: the hello record, status 200.
+
+Client mistakes are HTTP 400 with a protocol-shaped error body; unknown
+paths are 404.  Per-request access logging is off (the event ledger is
+the daemon's log).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .protocol import handle_request, hello
+from .session import ServeSession
+
+
+class _ServeHandler(BaseHTTPRequestHandler):
+    server_version = "repro-cla-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass
+
+    @property
+    def session(self) -> ServeSession:
+        return self.server.session  # type: ignore[attr-defined]
+
+    def _reply(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload, sort_keys=True).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802
+        if self.path == "/healthz":
+            self._reply(200, hello(self.session))
+        elif self.path == "/stats":
+            response, _stop = handle_request(self.session, {"op": "stats"})
+            self._reply(200, response)
+        else:
+            self._reply(404, {"ok": False,
+                              "error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802
+        if self.path != "/query":
+            self._reply(404, {"ok": False,
+                              "error": f"unknown path {self.path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = 0
+        try:
+            request = json.loads(self.rfile.read(length) or b"null")
+        except json.JSONDecodeError as exc:
+            self._reply(400, {"ok": False, "error": f"invalid JSON: {exc}"})
+            return
+        response, stop = handle_request(self.session, request)
+        self._reply(200 if response.get("ok") else 400, response)
+        if stop:
+            # shutdown() joins the serve loop; must come from another
+            # thread or this handler deadlocks on itself.
+            threading.Thread(target=self.server.shutdown,
+                             daemon=True).start()
+
+
+def make_http_server(
+    session: ServeSession, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """A bound (not yet serving) server; ``port=0`` picks a free port
+    (``server.server_address`` has the real one)."""
+    server = ThreadingHTTPServer((host, port), _ServeHandler)
+    server.daemon_threads = True
+    server.session = session  # type: ignore[attr-defined]
+    return server
+
+
+def serve_http(
+    session: ServeSession, host: str = "127.0.0.1", port: int = 8077
+) -> None:
+    """Serve until a ``shutdown`` request (or KeyboardInterrupt)."""
+    server = make_http_server(session, host, port)
+    try:
+        server.serve_forever(poll_interval=0.1)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()

@@ -1,0 +1,556 @@
+"""The serve daemon's warm state: one solved fixpoint, queried many times.
+
+:class:`ServeSession` is the paper's deployed-tool shape (§1: the analysis
+ran behind an interactive dependence browser at Lucent): solve once, then
+answer ``points-to`` / ``alias`` / ``chain`` queries from the in-memory
+result at interactive latency.  Three properties matter and are owned
+here:
+
+* **Warm queries.**  The interned universe, points-to bitmasks and the
+  open database store stay resident between requests; repeated queries
+  hit a bounded LRU (:class:`~repro.serve.cache.QueryCache`) keyed on the
+  full query identity *including the database generation*.
+* **Incremental updates.**  An ``update`` request recompiles only the
+  changed unit (through the content-keyed
+  :class:`~repro.driver.incremental.Workspace` cache), relinks, and —
+  when the constraint delta is additive and the solver supports the
+  resume seams — re-solves *from the previous fixpoint* by seeding the
+  new solver with the old result's translated masks
+  (``ingest_fact_masks`` → ``solve_partial`` → ``finish_partial``).
+  Soundness: seeding with facts already contained in the new least
+  fixpoint cannot change it, and an additive delta guarantees the old
+  fixpoint is contained (monotonicity).  Any non-additive delta, or a
+  solver without resume support, falls back to a cold solve.
+* **No stale answers.**  Every successful reload bumps ``generation``;
+  cache keys lead with the generation, so entries from a previous
+  database can never be *looked up*, let alone served.  With
+  ``certify=True`` each warm re-solve is checked bit-identical to a cold
+  solve of the same database and validated by the checker oracle;
+  divergence raises :class:`IncrementalSolveError` instead of serving.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from ..checker import check_result
+from ..cla.store import ConstraintStore
+from ..depend.chains import render_all, summarize
+from ..driver.incremental import BuildError, Workspace
+from ..engine.events import EVENTS, ServeQueryEvent, ServeReloadEvent
+from ..engine.obs import REGISTRY, Tracer
+from ..engine.pipeline import Pipeline
+from ..ir.strength import Strength
+from ..solvers import SOLVERS
+from ..solvers.base import PointsToResult
+from .cache import QueryCache
+
+_QUERIES = REGISTRY.counter("serve.queries")
+_ERRORS = REGISTRY.counter("serve.errors")
+_RELOADS_WARM = REGISTRY.counter("serve.reloads.warm")
+_RELOADS_COLD = REGISTRY.counter("serve.reloads.cold")
+
+#: Ops whose results are pure functions of (database generation, args).
+CACHEABLE_OPS = frozenset({"points-to", "alias", "chain"})
+
+#: Every op :meth:`ServeSession.request` understands (shutdown is a
+#: transport concern, handled in :mod:`repro.serve.protocol`).
+KNOWN_OPS = ("alias", "chain", "ping", "points-to", "reload", "stats",
+             "update")
+
+
+class ServeError(Exception):
+    """A client-side error: malformed arguments, unknown op, update
+    against a database-mode session.  Reported in the response envelope;
+    never tears down the daemon."""
+
+
+class IncrementalSolveError(RuntimeError):
+    """Certification failure: a warm re-solve diverged from the cold
+    solve of the same database (or failed the checker oracle).  This is a
+    solver bug, not a client error — it propagates and stops the daemon
+    rather than risk serving a wrong fixpoint."""
+
+
+@dataclass(slots=True)
+class _OpStats:
+    """Per-op latency/hit-rate accounting for the ``stats`` payload."""
+
+    count: int = 0
+    cache_hits: int = 0
+    errors: int = 0
+    total_ms: float = 0.0
+    max_ms: float = 0.0
+
+    def record(self, wall_ms: float, cache_hit: bool, ok: bool) -> None:
+        self.count += 1
+        self.cache_hits += cache_hit
+        self.errors += not ok
+        self.total_ms += wall_ms
+        if wall_ms > self.max_ms:
+            self.max_ms = wall_ms
+
+    def payload(self) -> dict:
+        mean = self.total_ms / self.count if self.count else 0.0
+        return {
+            "count": self.count,
+            "cache_hits": self.cache_hits,
+            "errors": self.errors,
+            "mean_ms": round(mean, 3),
+            "max_ms": round(self.max_ms, 3),
+        }
+
+
+def _constraint_signature(store: ConstraintStore) -> frozenset:
+    """The database's semantic content as a set of hashable facts.
+
+    Covers everything a solver can read: the five-kind assignment rows
+    (static and per-block), function/indirect-call records (funcptr
+    linking) and call sites.  Uses the uncounted ``fetch_*`` seams so the
+    scan does not distort the load accounting the solvers report.
+
+    Used for the additive-delta check: ``old <= new`` (set inclusion)
+    means every old constraint survives, so the old fixpoint is contained
+    in the new one and may seed a warm re-solve.  Sets, not multisets:
+    duplicate rows are idempotent constraints.
+    """
+    facts = set()
+    for a in store.fetch_statics():
+        facts.add((int(a.kind), a.dst, a.src))
+    for name in store.block_names():
+        block = store.fetch_block(name)
+        if block is None:
+            continue
+        for a in block.assignments:
+            facts.add((int(a.kind), a.dst, a.src))
+        record = block.function_record
+        if record is not None:
+            facts.add(("func", record.function, tuple(record.args),
+                       record.ret, record.variadic))
+        indirect = block.indirect_record
+        if indirect is not None:
+            facts.add(("ind", indirect.pointer, tuple(indirect.args),
+                       indirect.ret))
+    for site in store.call_sites():
+        facts.add(("call", site.caller, site.target, site.indirect))
+    return frozenset(facts)
+
+
+def _freeze(value):
+    if isinstance(value, list):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    return value
+
+
+def _canonical_args(params: dict) -> tuple:
+    try:
+        return tuple(sorted((k, _freeze(v)) for k, v in params.items()))
+    except TypeError as exc:
+        raise ServeError(f"unhashable query argument: {exc}") from None
+
+
+class ServeSession:
+    """Warm fixpoint + query dispatch for the serve daemon.
+
+    Exactly one of ``workspace`` (incremental mode: ``update`` supported)
+    or ``database`` (a linked ``.cla`` path; read-only apart from
+    ``reload``) must be given.  Construction performs the initial build
+    and cold solve, so a constructed session is ready to answer queries.
+
+    Thread-safe: one re-entrant lock serialises requests, which is what a
+    shared mutable fixpoint wants — queries are sub-millisecond against
+    the warm result, and reloads must be exclusive anyway.
+    """
+
+    def __init__(
+        self,
+        workspace: Workspace | None = None,
+        database: str | None = None,
+        solver: str = "pretransitive",
+        cache_entries: int = 1024,
+        certify: bool = False,
+        tracer: Tracer | None = None,
+    ):
+        if (workspace is None) == (database is None):
+            raise ValueError("exactly one of workspace/database is required")
+        if solver not in SOLVERS:
+            known = ", ".join(sorted(SOLVERS))
+            raise ValueError(f"unknown solver {solver!r} (known: {known})")
+        self.solver = solver
+        self._solver_cls = SOLVERS[solver]
+        self.certify = certify
+        self.workspace = workspace
+        self.database_path = database
+        self.pipeline = (
+            workspace.pipeline if workspace is not None
+            else Pipeline(tracer=tracer)
+        )
+        self.generation = 0
+        self.reloads = {"warm": 0, "cold": 0, "certified": 0}
+        self._cache = QueryCache(cache_entries)
+        self._latency: dict[str, _OpStats] = {}
+        self._lock = threading.RLock()
+        self._store: ConstraintStore | None = None
+        self._result: PointsToResult | None = None
+        self._signature: frozenset | None = None
+        self._load(prev=None)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            if self._store is not None:
+                self._store.close()
+                self._store = None
+
+    def __enter__(self) -> "ServeSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- the one entry point -------------------------------------------------
+
+    def request(self, op: str, params: dict | None = None) -> dict:
+        """Serve one request; returns the response envelope (sans ``id``).
+
+        Client errors (:class:`ServeError`, :class:`BuildError`) become
+        ``{"ok": false, "error": ...}`` responses; anything else is a
+        daemon bug and propagates.  Latency and hit-rate are recorded per
+        op and a ``serve.query`` event is emitted either way.
+        """
+        params = params or {}
+        started = time.perf_counter()
+        ok, cache_hit, error = True, False, None
+        result: dict | None = None
+        with self._lock:
+            try:
+                if not isinstance(params, dict):
+                    raise ServeError("params must be a JSON object")
+                if op in CACHEABLE_OPS:
+                    key = (self.generation, op, _canonical_args(params))
+                    result = self._cache.get(key)
+                    if result is not None:
+                        cache_hit = True
+                    else:
+                        result = self._dispatch(op, params)
+                        self._cache.put(key, result)
+                elif op in KNOWN_OPS:
+                    result = self._dispatch(op, params)
+                else:
+                    known = ", ".join(KNOWN_OPS)
+                    raise ServeError(f"unknown op {op!r} (known: {known})")
+            except (ServeError, BuildError) as exc:
+                ok, error = False, str(exc)
+            wall_ms = (time.perf_counter() - started) * 1000.0
+            stats = self._latency.get(op)
+            if stats is None:
+                stats = self._latency[op] = _OpStats()
+            stats.record(wall_ms, cache_hit, ok)
+            _QUERIES.add()
+            if not ok:
+                _ERRORS.add()
+            generation = self.generation
+            if EVENTS:
+                EVENTS.emit(ServeQueryEvent(
+                    op=op, solver=self.solver, generation=generation,
+                    cache_hit=cache_hit, ok=ok, wall_ms=round(wall_ms, 3),
+                ))
+        response = {
+            "ok": ok,
+            "op": op,
+            "generation": generation,
+            "cache_hit": cache_hit,
+            "wall_ms": round(wall_ms, 3),
+        }
+        if ok:
+            response["result"] = result
+        else:
+            response["error"] = error
+        return response
+
+    def _dispatch(self, op: str, params: dict) -> dict:
+        handler = getattr(self, "_op_" + op.replace("-", "_"))
+        return handler(params)
+
+    # -- query ops -----------------------------------------------------------
+
+    def _op_ping(self, params: dict) -> dict:
+        return {"pong": True, "solver": self.solver,
+                "generation": self.generation}
+
+    def _op_stats(self, params: dict) -> dict:
+        return {
+            "solver": self.solver,
+            "generation": self.generation,
+            "mode": "workspace" if self.workspace is not None else "database",
+            "certify": self.certify,
+            "pointer_variables": self._result.pointer_variables(),
+            "points_to_relations": self._result.points_to_relations(),
+            "queries": {
+                op: stats.payload()
+                for op, stats in sorted(self._latency.items())
+            },
+            "query_cache": self._cache.stats(),
+            "reloads": dict(self.reloads),
+        }
+
+    def _resolve(self, name: str) -> list[str]:
+        """Canonical object names for a query name: an exact (canonical)
+        match first, then the target-index hits for the simple name."""
+        names = []
+        if name in self._result.pts:
+            names.append(name)
+        for canonical in self._store.find_targets(name):
+            if canonical != name:
+                names.append(canonical)
+        return names
+
+    def _op_points_to(self, params: dict) -> dict:
+        name = _require_str(params, "name")
+        resolved = self._resolve(name)
+        return {
+            "name": name,
+            "resolved": resolved,
+            "points_to": {
+                n: sorted(self._result.points_to(n)) for n in resolved
+            },
+        }
+
+    def _op_alias(self, params: dict) -> dict:
+        a = _require_str(params, "a")
+        b = _require_str(params, "b")
+        resolved_a = self._resolve(a)
+        resolved_b = self._resolve(b)
+        witness: set[str] = set()
+        for na in resolved_a:
+            pts_a = self._result.points_to(na)
+            if not pts_a:
+                continue
+            for nb in resolved_b:
+                witness |= pts_a & self._result.points_to(nb)
+        return {
+            "a": a,
+            "b": b,
+            "resolved_a": resolved_a,
+            "resolved_b": resolved_b,
+            "may_alias": bool(witness),
+            "witness": sorted(witness),
+        }
+
+    def _op_chain(self, params: dict) -> dict:
+        target = _require_str(params, "target")
+        non_targets = params.get("non_targets", [])
+        if not isinstance(non_targets, (list, tuple)):
+            raise ServeError("non_targets must be a list of names")
+        strength_name = params.get("min_strength", "weak")
+        try:
+            strength = Strength[str(strength_name).upper()]
+        except KeyError:
+            raise ServeError(
+                f"unknown min_strength {strength_name!r} "
+                "(known: weak, strong, direct)"
+            ) from None
+        limit = params.get("limit", 25)
+        if not isinstance(limit, int) or limit < 0:
+            raise ServeError("limit must be a non-negative integer")
+        try:
+            dep = self.pipeline.depend(
+                self._store, self._result, target,
+                frozenset(str(n) for n in non_targets),
+                min_strength=strength,
+            )
+        except KeyError as exc:
+            raise ServeError(str(exc.args[0])) from None
+        return {
+            "target": target,
+            "dependents": len(dep.dependents),
+            "counts": summarize(dep),
+            "chains": render_all(self._store, dep, limit=limit),
+        }
+
+    # -- mutation ops ---------------------------------------------------------
+
+    def _op_update(self, params: dict) -> dict:
+        if self.workspace is None:
+            raise ServeError(
+                "update requires workspace mode (this daemon serves a "
+                "linked database; use reload after relinking it)"
+            )
+        file = _require_str(params, "file")
+        text = _require_str(params, "text", allow_empty=True)
+        kind = params.get("kind", "source")
+        if kind == "source":
+            if file in self.workspace._sources:
+                self.workspace.update_source(file, text)
+            else:
+                self.workspace.add_source(file, text)
+        elif kind == "header":
+            if file in self.workspace._headers:
+                self.workspace.update_header(file, text)
+            else:
+                self.workspace.add_header(file, text)
+        else:
+            raise ServeError(f"unknown kind {kind!r} (known: source, header)")
+        return self._load(prev=self._result)
+
+    def _op_reload(self, params: dict) -> dict:
+        prev = None if params.get("cold") else self._result
+        return self._load(prev=prev)
+
+    # -- solving --------------------------------------------------------------
+
+    def _load(self, prev: PointsToResult | None) -> dict:
+        """(Re)build, (re)open and (re)solve; swap in the new fixpoint.
+
+        Runs warm from ``prev`` when sound (additive delta + resume-capable
+        solver), cold otherwise.  On any failure — compile errors, a
+        certification mismatch — the previous store/result/generation stay
+        in place untouched, so the daemon keeps serving the last good
+        fixpoint (or, from the constructor, fails to start at all).
+        """
+        started = time.perf_counter()
+        if self.workspace is not None:
+            path = self.workspace.build()
+            compiled = self.workspace.stats.compiled
+            reused = self.workspace.stats.reused
+        else:
+            path = self.database_path
+            compiled = reused = 0
+        store = self.pipeline.open_database(path)
+        try:
+            signature = _constraint_signature(store)
+            warm = (
+                prev is not None
+                and self._signature is not None
+                and self._solver_cls.supports_resume
+                and hasattr(prev.pts, "masks")
+                and self._signature <= signature
+            )
+            if warm:
+                result = self._warm_solve(store, prev)
+            else:
+                result = self.pipeline.analyze(store, self.solver)
+            certified = False
+            if self.certify:
+                self._certify(path, store, result, warm)
+                certified = True
+        except BaseException:
+            store.close()
+            raise
+        old_store = self._store
+        self._store = store
+        self._result = result
+        self._signature = signature
+        self.generation += 1
+        self._cache.drop_before(self.generation)
+        if old_store is not None:
+            old_store.close()
+        mode = "warm" if warm else "cold"
+        self.reloads[mode] += 1
+        if certified:
+            self.reloads["certified"] += 1
+        (_RELOADS_WARM if warm else _RELOADS_COLD).add()
+        wall_s = time.perf_counter() - started
+        if EVENTS:
+            EVENTS.emit(ServeReloadEvent(
+                generation=self.generation, solver=self.solver, mode=mode,
+                compiled=compiled, reused=reused, certified=certified,
+                wall_s=round(wall_s, 6),
+            ))
+        return {
+            "generation": self.generation,
+            "mode": mode,
+            "compiled": compiled,
+            "reused": reused,
+            "certified": certified,
+            "seconds": round(wall_s, 6),
+        }
+
+    def _warm_solve(
+        self, store: ConstraintStore, prev: PointsToResult
+    ) -> PointsToResult:
+        """Re-solve ``store`` seeded with the previous fixpoint.
+
+        The old masks live in the old universe's target-id space; each set
+        bit is translated by *name* into the new solver's target space
+        before being fed through ``ingest_fact_masks``.  Then one
+        ``solve_partial`` reaches the new fixpoint and ``finish_partial``
+        packages it exactly like a cold solve.
+        """
+        prev_pts = prev.pts
+        old_names = prev_pts.universe.target_names
+        with self.pipeline._stage(
+            "analyze", solver=self.solver, mode="warm"
+        ) as span:
+            solver = self._solver_cls(store)
+            new_target_id = solver.universe.target_id
+            remap: dict[int, int] = {}
+            seeds: dict[str, int] = {}
+            for name, mask in prev_pts.masks().items():
+                translated = 0
+                while mask:
+                    low = mask & -mask
+                    mask ^= low
+                    bit = low.bit_length() - 1
+                    new_bit = remap.get(bit)
+                    if new_bit is None:
+                        new_bit = remap[bit] = new_target_id(old_names[bit])
+                    translated |= 1 << new_bit
+                if translated:
+                    seeds[name] = translated
+            solver.ingest_fact_masks(seeds)
+            solver.solve_partial()
+            result = solver.finish_partial()
+            span.annotate(seeded=len(seeds),
+                          **result.stats.counter_fields())
+        return result
+
+    def _certify(
+        self,
+        path: str,
+        store: ConstraintStore,
+        result: PointsToResult,
+        warm: bool,
+    ) -> None:
+        """Prove the fixpoint right before serving it.
+
+        A warm result is compared bit-for-bit (decoded points-to sets over
+        the union of names) against a cold solve of the same database on a
+        fresh store; both paths then run the checker oracle.  The cold
+        reference uses its own store so its load accounting cannot pollute
+        the serving result's."""
+        if warm:
+            cold_store = self.pipeline.open_database(path)
+            try:
+                cold = self.pipeline.analyze(cold_store, self.solver)
+            finally:
+                cold_store.close()
+            for name in set(result.pts) | set(cold.pts):
+                if result.points_to(name) != cold.points_to(name):
+                    raise IncrementalSolveError(
+                        f"warm re-solve diverged from cold solve at "
+                        f"{name!r}: warm={sorted(result.points_to(name))} "
+                        f"cold={sorted(cold.points_to(name))}"
+                    )
+        report = check_result(
+            store, result,
+            check_minimal=self._solver_cls.precision == "andersen",
+        )
+        if report.violations:
+            first = report.violations[0]
+            raise IncrementalSolveError(
+                f"checker oracle rejected the re-solved fixpoint: "
+                f"{len(report.violations)} violation(s), first: {first}"
+            )
+
+
+def _require_str(params: dict, key: str, allow_empty: bool = False) -> str:
+    value = params.get(key)
+    if not isinstance(value, str) or (not value and not allow_empty):
+        raise ServeError(f"missing or non-string parameter {key!r}")
+    return value

@@ -432,3 +432,65 @@ def test_database_round_trip(tmp_path_factory, assigns, objs):
             if trigger is not None:
                 block = r.load_block(trigger)
                 assert any(key(b) == key(a) for b in block.assignments)
+
+
+# -- atomic writes ------------------------------------------------------------
+
+
+class TestAtomicWrite:
+    """write() must be atomic: an interrupted write can never leave a
+    truncated file at the final path (the content-keyed Workspace cache
+    would reuse it forever)."""
+
+    def _writer(self) -> ObjectFileWriter:
+        w = ObjectFileWriter()
+        w.add_assignment(PrimitiveAssignment(
+            kind=PrimitiveKind.ADDR, dst="p", src="x"))
+        return w
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        path = tmp_path / "out.o"
+        self._writer().write(str(path))
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["out.o"]
+
+    def test_failed_replace_preserves_existing_file(self, tmp_path,
+                                                    monkeypatch):
+        """A write that dies before the rename leaves the old file
+        intact and cleans up its temp file."""
+        import os as _os
+
+        path = tmp_path / "out.o"
+        self._writer().write(str(path))
+        before = path.read_bytes()
+
+        def boom(src, dst):
+            raise OSError("simulated crash mid-write")
+
+        monkeypatch.setattr("repro.cla.writer.os.replace", boom)
+        w2 = self._writer()
+        w2.add_assignment(PrimitiveAssignment(
+            kind=PrimitiveKind.ADDR, dst="q", src="y"))
+        with pytest.raises(OSError):
+            w2.write(str(path))
+        monkeypatch.undo()
+        assert path.read_bytes() == before
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["out.o"]
+        # and the surviving file still opens
+        ObjectFileReader(str(path)).close()
+        assert _os.path.exists(path)
+
+    def test_temp_file_in_same_directory(self, tmp_path, monkeypatch):
+        """The temp file must share the target's directory: os.replace
+        across filesystems is not atomic (it degrades to copy+delete)."""
+        seen = {}
+        real_mkstemp = __import__("tempfile").mkstemp
+
+        def spy(*args, **kwargs):
+            seen["dir"] = kwargs.get("dir")
+            return real_mkstemp(*args, **kwargs)
+
+        monkeypatch.setattr("repro.cla.writer.tempfile.mkstemp", spy)
+        target = tmp_path / "sub"
+        target.mkdir()
+        self._writer().write(str(target / "out.o"))
+        assert seen["dir"] == str(target)

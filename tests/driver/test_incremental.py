@@ -1,8 +1,10 @@
 """Tests for the incremental workspace (§4's interactive-tool motivation)."""
 
+import os
+
 import pytest
 
-from repro.driver.incremental import Workspace
+from repro.driver.incremental import BuildError, Workspace
 
 
 @pytest.fixture
@@ -89,6 +91,108 @@ class TestCaching:
     def test_update_unknown_source(self, workspace):
         with pytest.raises(KeyError):
             workspace.update_source("ghost.c", "int x;")
+
+
+class TestCorruptCache:
+    """A killed process (or anything else) leaving a truncated object at
+    a content-keyed cache path must trigger a recompile, not be reused
+    forever."""
+
+    def _content_path(self, ws: Workspace, filename: str) -> str:
+        key = ws._content_key(filename, ws._sources[filename])
+        return os.path.join(ws.cache_dir, f"{key}.o")
+
+    def test_truncated_object_is_recompiled(self, tmp_path):
+        ws = Workspace(cache_dir=str(tmp_path / "cache"))
+        ws.add_source("a.c", "int x, *p; void f(void) { p = &x; }")
+        # Plant a truncated object where the content key says it lives —
+        # exactly what an in-place writer killed mid-write left behind.
+        path = self._content_path(ws, "a.c")
+        with open(path, "wb") as f:
+            f.write(b"CLA\x01trunc")
+        result = ws.analyze()
+        assert ws.stats.compiled == 1
+        assert ws.stats.reused == 0
+        assert result.points_to("p") == {"x"}
+        # The planted garbage was replaced by a valid object.
+        from repro.cla.reader import ObjectFileReader
+
+        ObjectFileReader(path).close()
+        ws.close()
+
+    def test_truncated_object_does_not_fail_forever(self, tmp_path):
+        """The old behaviour: every build raised ClaFormatError at link
+        time until the cache dir was wiped.  Two consecutive builds must
+        now both succeed."""
+        ws = Workspace(cache_dir=str(tmp_path / "cache"))
+        ws.add_source("a.c", "int x, *p; void f(void) { p = &x; }")
+        path = self._content_path(ws, "a.c")
+        with open(path, "wb") as f:
+            f.write(b"\x00" * 16)
+        ws.build()
+        ws2 = Workspace(cache_dir=ws.cache_dir)
+        ws2.add_source("a.c", "int x, *p; void f(void) { p = &x; }")
+        ws2.build()
+        assert ws2.stats.reused == 1
+        ws.close()
+        ws2.close()
+
+    def test_empty_object_file_is_recompiled(self, tmp_path):
+        ws = Workspace(cache_dir=str(tmp_path / "cache"))
+        ws.add_source("a.c", "int x, *p; void f(void) { p = &x; }")
+        with open(self._content_path(ws, "a.c"), "wb"):
+            pass
+        ws.build()
+        assert ws.stats.compiled == 1
+        ws.close()
+
+
+class TestBuildFailureCollection:
+    """A failing unit in a batch reports alongside every other failure,
+    and sibling successes keep their cache entries."""
+
+    BAD1 = "int broken1('"
+    BAD2 = "void also_broken2(void) { @ }"
+    GOOD = "int x, *p; void good(void) { p = &x; }"
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_all_failures_reported(self, tmp_path, jobs):
+        ws = Workspace(cache_dir=str(tmp_path / f"cache{jobs}"))
+        ws.add_source("bad1.c", self.BAD1)
+        ws.add_source("bad2.c", self.BAD2)
+        ws.add_source("good.c", self.GOOD)
+        with pytest.raises(BuildError) as excinfo:
+            ws.build(jobs=jobs)
+        message = str(excinfo.value)
+        assert "bad1.c" in message and "bad2.c" in message
+        assert "good.c" not in message
+        assert [f for f, _ in excinfo.value.failures] == ["bad1.c", "bad2.c"]
+        ws.close()
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_successes_committed_despite_failures(self, tmp_path, jobs):
+        ws = Workspace(cache_dir=str(tmp_path / f"cache{jobs}"))
+        ws.add_source("bad.c", self.BAD1)
+        ws.add_source("good.c", self.GOOD)
+        with pytest.raises(BuildError):
+            ws.build(jobs=jobs)
+        # good.c's object was committed: fixing bad.c recompiles only it.
+        ws.update_source("good.c", self.GOOD)
+        ws.update_source("bad.c", "int fixed;")
+        ws.build(jobs=jobs)
+        assert ws.stats.compiled == 1
+        assert ws.stats.reused == 1
+        ws.close()
+
+    def test_failed_build_leaves_no_partial_objects(self, tmp_path):
+        ws = Workspace(cache_dir=str(tmp_path / "cache"))
+        ws.add_source("bad.c", self.BAD1)
+        with pytest.raises(BuildError):
+            ws.build(jobs=1)
+        leftovers = [name for name in os.listdir(ws.cache_dir)
+                     if name.endswith(".o")]
+        assert leftovers == []
+        ws.close()
 
 
 class TestAnalysisAcrossEdits:

@@ -1,0 +1,40 @@
+"""Shared fixtures for the serve-daemon tests: a small two-file project
+with a cross-file points-to flow, as a workspace and as a session."""
+
+import pytest
+
+from repro.driver.incremental import Workspace
+from repro.serve import ServeSession
+
+HEADER = "extern int shared; extern int *gp;"
+SOURCE_A = ('#include "defs.h"\nint shared; int *gp;'
+            "void init(void) { gp = &shared; }")
+SOURCE_B = ('#include "defs.h"\nint *mine;'
+            "void use(void) { mine = gp; }")
+#: An additive edit to b.c: everything old survives, one pointer appears.
+SOURCE_B_GROWN = ('#include "defs.h"\nint *mine, *extra;'
+                  "void use(void) { mine = gp; extra = mine; }")
+#: A shrinking edit to b.c: the mine = gp flow disappears (non-additive).
+SOURCE_B_SHRUNK = '#include "defs.h"\nint *mine;'
+
+
+def make_workspace(tmp_path, name="cache") -> Workspace:
+    ws = Workspace(cache_dir=str(tmp_path / name))
+    ws.add_header("defs.h", HEADER)
+    ws.add_source("a.c", SOURCE_A)
+    ws.add_source("b.c", SOURCE_B)
+    return ws
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    ws = make_workspace(tmp_path)
+    yield ws
+    ws.close()
+
+
+@pytest.fixture
+def session(workspace):
+    s = ServeSession(workspace=workspace, certify=True)
+    yield s
+    s.close()

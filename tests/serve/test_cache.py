@@ -1,0 +1,52 @@
+"""Unit tests for the bounded LRU query cache."""
+
+import pytest
+
+from repro.serve.cache import QueryCache
+
+
+class TestQueryCache:
+    def test_miss_then_hit(self):
+        cache = QueryCache(max_entries=4)
+        key = (1, "points-to", (("name", "p"),))
+        assert cache.get(key) is None
+        cache.put(key, {"x": 1})
+        assert cache.get(key) == {"x": 1}
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_lru_eviction_order(self):
+        cache = QueryCache(max_entries=2)
+        cache.put((1, "a"), "A")
+        cache.put((1, "b"), "B")
+        assert cache.get((1, "a")) == "A"  # refresh a; b is now oldest
+        cache.put((1, "c"), "C")
+        assert cache.get((1, "b")) is None
+        assert cache.get((1, "a")) == "A"
+        assert cache.get((1, "c")) == "C"
+        assert cache.evictions == 1
+
+    def test_zero_capacity_disables_caching(self):
+        cache = QueryCache(max_entries=0)
+        cache.put((1, "a"), "A")
+        assert len(cache) == 0
+        assert cache.get((1, "a")) is None
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            QueryCache(max_entries=-1)
+
+    def test_drop_before_prunes_only_stale_generations(self):
+        cache = QueryCache(max_entries=8)
+        cache.put((1, "a"), "old")
+        cache.put((1, "b"), "old")
+        cache.put((2, "a"), "new")
+        assert cache.drop_before(2) == 2
+        assert len(cache) == 1
+        assert cache.get((2, "a")) == "new"
+
+    def test_clear(self):
+        cache = QueryCache()
+        cache.put((1, "a"), "A")
+        cache.clear()
+        assert len(cache) == 0

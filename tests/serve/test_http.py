@@ -1,0 +1,116 @@
+"""HTTP-transport tests: the same protocol behind POST /query."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve import make_http_server
+
+from .conftest import SOURCE_B_GROWN
+
+
+@pytest.fixture
+def server(session):
+    server = make_http_server(session, port=0)
+    thread = threading.Thread(target=server.serve_forever,
+                              kwargs={"poll_interval": 0.05}, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}", server, thread
+    server.shutdown()
+    server.server_close()
+
+
+def post(base, payload, path="/query"):
+    request = urllib.request.Request(
+        base + path,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def get(base, path):
+    try:
+        with urllib.request.urlopen(base + path, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+class TestHttp:
+    def test_query_round_trip(self, server):
+        base, _, _ = server
+        status, body = post(base, {"op": "points-to",
+                                   "params": {"name": "mine"}, "id": 1})
+        assert status == 200
+        assert body["ok"] and body["id"] == 1
+        assert body["result"]["points_to"] == {"mine": ["shared"]}
+
+    def test_update_then_query(self, server):
+        base, _, _ = server
+        status, body = post(base, {"op": "update",
+                                   "params": {"file": "b.c",
+                                              "text": SOURCE_B_GROWN}})
+        assert status == 200 and body["result"]["mode"] == "warm"
+        _, body = post(base, {"op": "points-to",
+                              "params": {"name": "extra"}})
+        assert body["result"]["points_to"] == {"extra": ["shared"]}
+
+    def test_client_error_is_400(self, server):
+        base, _, _ = server
+        status, body = post(base, {"op": "frobnicate"})
+        assert status == 400 and not body["ok"]
+
+    def test_invalid_json_is_400(self, server):
+        base, _, _ = server
+        request = urllib.request.Request(
+            base + "/query", data=b"{not json")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_healthz_and_stats(self, server):
+        base, _, _ = server
+        status, body = get(base, "/healthz")
+        assert status == 200 and body["kind"] == "serve.hello"
+        status, body = get(base, "/stats")
+        assert status == 200
+        assert body["result"]["mode"] == "workspace"
+
+    def test_unknown_path_is_404(self, server):
+        base, _, _ = server
+        assert get(base, "/nope")[0] == 404
+        assert post(base, {"op": "ping"}, path="/nope")[0] == 404
+
+    def test_shutdown_op_stops_the_server(self, server):
+        base, server_obj, thread = server
+        status, body = post(base, {"op": "shutdown"})
+        assert status == 200 and body["result"]["stopping"]
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+
+    def test_concurrent_queries(self, server):
+        base, _, _ = server
+        results = []
+
+        def worker(name):
+            results.append(post(base, {"op": "points-to",
+                                       "params": {"name": name}}))
+
+        threads = [threading.Thread(target=worker, args=("mine",))
+                   for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert len(results) == 8
+        assert all(status == 200 and body["ok"]
+                   for status, body in results)

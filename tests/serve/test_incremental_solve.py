@@ -1,0 +1,109 @@
+"""The PR's core guarantee, end to end: an ``update`` followed by an
+incremental re-solve yields exactly what a cold solve of the edited
+project yields — for every registered solver — and the checker oracle
+accepts the served fixpoint.
+
+The sessions here run with ``certify=True``, so the warm-vs-cold
+comparison and the oracle run *inside* the daemon on every reload; these
+tests additionally compare against an independent fresh-workspace solve,
+closing the loop outside the serve machinery too.
+"""
+
+import pytest
+
+from repro.checker import check_result
+from repro.engine.pipeline import Pipeline
+from repro.serve import ServeSession
+from repro.solvers import SOLVERS
+
+from .conftest import HEADER, SOURCE_A, SOURCE_B_GROWN, make_workspace
+
+RESUME_SOLVERS = sorted(
+    name for name, cls in SOLVERS.items() if cls.supports_resume
+)
+
+
+def cold_reference(tmp_path, solver):
+    """Solve the edited project from scratch in a fresh workspace."""
+    from repro.driver.incremental import Workspace
+
+    ws = Workspace(cache_dir=str(tmp_path / f"cold-{solver}"))
+    ws.add_header("defs.h", HEADER)
+    ws.add_source("a.c", SOURCE_A)
+    ws.add_source("b.c", SOURCE_B_GROWN)
+    try:
+        return ws.analyze(solver)
+    finally:
+        ws.close()
+
+
+class TestBitIdenticalAcrossSolvers:
+    @pytest.mark.parametrize("solver", sorted(SOLVERS))
+    def test_update_matches_cold_solve(self, tmp_path, solver):
+        ws = make_workspace(tmp_path, f"warm-{solver}")
+        try:
+            with ServeSession(workspace=ws, solver=solver,
+                              certify=True) as session:
+                update = session.request(
+                    "update", {"file": "b.c", "text": SOURCE_B_GROWN}
+                )
+                assert update["ok"]
+                expected = ("warm" if SOLVERS[solver].supports_resume
+                            else "cold")
+                assert update["result"]["mode"] == expected
+                assert update["result"]["certified"] is True
+                served = session._result
+                cold = cold_reference(tmp_path, solver)
+                names = set(served.pts) | set(cold.pts)
+                for name in names:
+                    assert served.points_to(name) == cold.points_to(name), \
+                        f"{solver}: {name}"
+        finally:
+            ws.close()
+
+    @pytest.mark.parametrize("solver", RESUME_SOLVERS)
+    def test_served_fixpoint_passes_oracle(self, tmp_path, solver):
+        ws = make_workspace(tmp_path, f"oracle-{solver}")
+        try:
+            with ServeSession(workspace=ws, solver=solver) as session:
+                session.request("update",
+                                {"file": "b.c", "text": SOURCE_B_GROWN})
+                pipeline = Pipeline()
+                with pipeline.open_database(ws.build()) as store:
+                    report = check_result(
+                        store, session._result,
+                        check_minimal=(
+                            SOLVERS[solver].precision == "andersen"
+                        ),
+                    )
+                assert report.ok, report.render()
+        finally:
+            ws.close()
+
+    @pytest.mark.parametrize("solver", RESUME_SOLVERS)
+    def test_chain_of_updates_stays_identical(self, tmp_path, solver):
+        """Warm-on-warm: each generation seeds the next; drift would
+        compound, so certify every step and cross-check the last."""
+        edits = [
+            '#include "defs.h"\nint *mine, *e1;'
+            "void use(void) { mine = gp; e1 = mine; }",
+            '#include "defs.h"\nint *mine, *e1, *e2;'
+            "void use(void) { mine = gp; e1 = mine; e2 = e1; }",
+            '#include "defs.h"\nint *mine, *e1, *e2, **pp;'
+            "void use(void) { mine = gp; e1 = mine; e2 = e1; pp = &e2; }",
+        ]
+        ws = make_workspace(tmp_path, f"chain-{solver}")
+        try:
+            with ServeSession(workspace=ws, solver=solver,
+                              certify=True) as session:
+                for text in edits:
+                    update = session.request("update",
+                                             {"file": "b.c", "text": text})
+                    assert update["ok"]
+                    assert update["result"]["mode"] == "warm"
+                    assert update["result"]["certified"] is True
+                assert session.generation == 1 + len(edits)
+                r = session.request("points-to", {"name": "pp"})
+                assert r["result"]["points_to"] == {"pp": ["e2"]}
+        finally:
+            ws.close()

@@ -1,0 +1,128 @@
+"""Protocol and JSONL-transport tests, including the golden session: a
+scripted request batch whose responses are pinned field by field."""
+
+import io
+import json
+
+from repro.serve import PROTOCOL_VERSION, ServeSession, handle_request, serve_jsonl
+
+from .conftest import SOURCE_B_GROWN
+
+
+def run_jsonl(session, requests):
+    """Feed a request batch through the line protocol; returns the parsed
+    response records (greeting excluded)."""
+    lines = "\n".join(
+        r if isinstance(r, str) else json.dumps(r) for r in requests
+    )
+    out = io.StringIO()
+    serve_jsonl(session, io.StringIO(lines + "\n"), out)
+    records = [json.loads(line) for line in out.getvalue().splitlines()]
+    assert records[0]["kind"] == "serve.hello"
+    return records[0], records[1:]
+
+
+def scrub(record):
+    """Drop the wall-clock fields so responses compare deterministically."""
+    record = dict(record)
+    record.pop("wall_ms", None)
+    if isinstance(record.get("result"), dict):
+        record["result"] = {k: v for k, v in record["result"].items()
+                            if k != "seconds"}
+    return record
+
+
+class TestGoldenSession:
+    def test_scripted_batch(self, session):
+        hello, responses = run_jsonl(session, [
+            {"op": "ping", "id": 1},
+            {"op": "points-to", "params": {"name": "mine"}, "id": 2},
+            {"op": "points-to", "params": {"name": "mine"}, "id": 3},
+            {"op": "alias", "params": {"a": "mine", "b": "gp"}, "id": 4},
+            {"op": "update", "params": {"file": "b.c",
+                                        "text": SOURCE_B_GROWN}, "id": 5},
+            {"op": "points-to", "params": {"name": "extra"}, "id": 6},
+            {"op": "shutdown", "id": 7},
+        ])
+        assert hello["protocol"] == PROTOCOL_VERSION
+        assert hello["solver"] == "pretransitive"
+        expected = [
+            {"id": 1, "ok": True, "op": "ping", "generation": 1,
+             "cache_hit": False,
+             "result": {"pong": True, "solver": "pretransitive",
+                        "generation": 1}},
+            {"id": 2, "ok": True, "op": "points-to", "generation": 1,
+             "cache_hit": False,
+             "result": {"name": "mine", "resolved": ["mine"],
+                        "points_to": {"mine": ["shared"]}}},
+            {"id": 3, "ok": True, "op": "points-to", "generation": 1,
+             "cache_hit": True,
+             "result": {"name": "mine", "resolved": ["mine"],
+                        "points_to": {"mine": ["shared"]}}},
+            {"id": 4, "ok": True, "op": "alias", "generation": 1,
+             "cache_hit": False,
+             "result": {"a": "mine", "b": "gp", "resolved_a": ["mine"],
+                        "resolved_b": ["gp"], "may_alias": True,
+                        "witness": ["shared"]}},
+            {"id": 5, "ok": True, "op": "update", "generation": 2,
+             "cache_hit": False,
+             "result": {"generation": 2, "mode": "warm", "compiled": 1,
+                        "reused": 1, "certified": True}},
+            {"id": 6, "ok": True, "op": "points-to", "generation": 2,
+             "cache_hit": False,
+             "result": {"name": "extra", "resolved": ["extra"],
+                        "points_to": {"extra": ["shared"]}}},
+            {"id": 7, "ok": True, "op": "shutdown", "generation": 2,
+             "result": {"stopping": True}},
+        ]
+        assert [scrub(r) for r in responses] == expected
+
+    def test_shutdown_stops_midway(self, session):
+        _, responses = run_jsonl(session, [
+            {"op": "ping", "id": 1},
+            {"op": "shutdown", "id": 2},
+            {"op": "ping", "id": 3},  # never reached
+        ])
+        assert [r.get("id") for r in responses] == [1, 2]
+
+    def test_eof_without_shutdown(self, session):
+        _, responses = run_jsonl(session, [{"op": "ping", "id": 1}])
+        assert len(responses) == 1
+
+    def test_bad_lines_get_error_responses(self, session):
+        _, responses = run_jsonl(session, [
+            "this is not json",
+            "[1, 2, 3]",
+            "{}",
+            {"op": 42},
+            "",  # blank lines are skipped, not answered
+            {"op": "ping", "id": 9},
+        ])
+        assert [r["ok"] for r in responses] == [False, False, False,
+                                                False, True]
+        assert "invalid JSON" in responses[0]["error"]
+        assert "JSON object" in responses[1]["error"]
+        assert "missing op" in responses[2]["error"]
+        assert "missing op" in responses[3]["error"]
+        assert responses[-1]["id"] == 9
+
+
+class TestHandleRequest:
+    def test_id_is_echoed_verbatim(self, session):
+        response, stop = handle_request(
+            session, {"op": "ping", "id": "client-7"}
+        )
+        assert response["id"] == "client-7"
+        assert not stop
+
+    def test_id_is_optional(self, session):
+        response, stop = handle_request(session, {"op": "ping"})
+        assert "id" not in response
+
+    def test_shutdown_signals_stop(self, session):
+        response, stop = handle_request(session, {"op": "shutdown"})
+        assert stop and response["ok"]
+
+    def test_non_dict_request(self, session):
+        response, stop = handle_request(session, "ping")
+        assert not response["ok"] and not stop

@@ -1,0 +1,254 @@
+"""Tests for :class:`ServeSession`: warm queries, the generation-keyed
+query cache, incremental updates, and error envelopes."""
+
+import pytest
+
+from repro.engine.events import EVENTS, MemorySink
+from repro.serve import ServeSession
+from repro.serve.session import _constraint_signature
+
+from .conftest import SOURCE_B, SOURCE_B_GROWN, SOURCE_B_SHRUNK, make_workspace
+
+
+class TestQueries:
+    def test_points_to(self, session):
+        r = session.request("points-to", {"name": "mine"})
+        assert r["ok"] and not r["cache_hit"]
+        assert r["result"]["points_to"] == {"mine": ["shared"]}
+
+    def test_unknown_name_is_empty_not_error(self, session):
+        r = session.request("points-to", {"name": "nosuch"})
+        assert r["ok"]
+        assert r["result"]["resolved"] == []
+        assert r["result"]["points_to"] == {}
+
+    def test_alias(self, session):
+        r = session.request("alias", {"a": "mine", "b": "gp"})
+        assert r["ok"]
+        assert r["result"]["may_alias"] is True
+        assert r["result"]["witness"] == ["shared"]
+        r = session.request("alias", {"a": "mine", "b": "shared"})
+        assert r["result"]["may_alias"] is False
+
+    def test_chain(self, workspace):
+        # *gp = v makes v's value flow into shared: a real dependence.
+        workspace.update_source(
+            "b.c", '#include "defs.h"\nint v, *mine;'
+                   "void use(void) { mine = gp; *gp = v; }"
+        )
+        with ServeSession(workspace=workspace) as session:
+            r = session.request("chain", {"target": "v"})
+            assert r["ok"]
+            assert r["result"]["dependents"] >= 1
+            assert r["result"]["chains"]
+
+    def test_chain_unknown_target_is_client_error(self, session):
+        r = session.request("chain", {"target": "nosuch"})
+        assert not r["ok"]
+        assert "nosuch" in r["error"]
+
+    def test_chain_rejects_bad_strength(self, session):
+        r = session.request("chain", {"target": "shared",
+                                      "min_strength": "bogus"})
+        assert not r["ok"] and "min_strength" in r["error"]
+
+    def test_ping_and_stats(self, session):
+        assert session.request("ping")["result"]["pong"] is True
+        stats = session.request("stats")["result"]
+        assert stats["mode"] == "workspace"
+        assert stats["solver"] == "pretransitive"
+        assert stats["reloads"]["cold"] == 1
+
+    def test_unknown_op(self, session):
+        r = session.request("frobnicate")
+        assert not r["ok"] and "unknown op" in r["error"]
+
+    def test_missing_param(self, session):
+        r = session.request("points-to", {})
+        assert not r["ok"] and "name" in r["error"]
+
+    def test_latency_counters_track_every_request(self, session):
+        session.request("points-to", {"name": "mine"})
+        session.request("points-to", {"name": "mine"})
+        session.request("frobnicate")
+        stats = session.request("stats")["result"]
+        pt = stats["queries"]["points-to"]
+        assert pt["count"] == 2
+        assert pt["cache_hits"] == 1
+        assert pt["mean_ms"] >= 0.0
+        assert stats["queries"]["frobnicate"]["errors"] == 1
+
+
+class TestQueryCacheSemantics:
+    def test_second_identical_query_hits(self, session):
+        r1 = session.request("points-to", {"name": "mine"})
+        r2 = session.request("points-to", {"name": "mine"})
+        assert not r1["cache_hit"] and r2["cache_hit"]
+        assert r1["result"] == r2["result"]
+
+    def test_param_order_is_canonical(self, session):
+        session.request("alias", {"a": "mine", "b": "gp"})
+        r = session.request("alias", {"b": "gp", "a": "mine"})
+        assert r["cache_hit"]
+
+    def test_update_invalidates(self, session):
+        r1 = session.request("points-to", {"name": "extra"})
+        assert r1["result"]["points_to"] == {}
+        u = session.request("update", {"file": "b.c",
+                                       "text": SOURCE_B_GROWN})
+        assert u["ok"]
+        r2 = session.request("points-to", {"name": "extra"})
+        assert not r2["cache_hit"], "stale entry served across generations"
+        assert r2["result"]["points_to"] == {"extra": ["shared"]}
+        assert session.request("points-to",
+                               {"name": "extra"})["cache_hit"]
+
+    def test_failed_update_keeps_serving_old_generation(self, session):
+        session.request("points-to", {"name": "mine"})
+        before = session.generation
+        u = session.request("update", {"file": "b.c", "text": "int bad("})
+        assert not u["ok"] and "b.c" in u["error"]
+        assert session.generation == before
+        r = session.request("points-to", {"name": "mine"})
+        assert r["cache_hit"], "old generation's cache should still serve"
+        assert r["result"]["points_to"] == {"mine": ["shared"]}
+        # Fixing the file recovers.
+        u = session.request("update", {"file": "b.c", "text": SOURCE_B})
+        assert u["ok"]
+        assert session.generation == before + 1
+
+    def test_mutating_ops_are_never_cached(self, session):
+        session.request("reload", {})
+        r = session.request("reload", {})
+        assert not r["cache_hit"]
+
+
+class TestUpdates:
+    def test_additive_update_resolves_warm(self, session):
+        u = session.request("update", {"file": "b.c",
+                                       "text": SOURCE_B_GROWN})
+        assert u["result"]["mode"] == "warm"
+        assert u["result"]["compiled"] == 1
+        assert u["result"]["reused"] == 1
+        assert u["result"]["certified"] is True
+
+    def test_shrinking_update_falls_back_to_cold(self, session):
+        u = session.request("update", {"file": "b.c",
+                                       "text": SOURCE_B_SHRUNK})
+        assert u["result"]["mode"] == "cold"
+        # mine's flow is gone: nothing resolves, nothing points anywhere.
+        r = session.request("points-to", {"name": "mine"})
+        assert all(not v for v in r["result"]["points_to"].values())
+
+    def test_new_file_via_update(self, session):
+        u = session.request("update", {
+            "file": "c.c",
+            "text": '#include "defs.h"\nint *late;'
+                    "void f(void) { late = gp; }",
+        })
+        assert u["ok"] and u["result"]["mode"] == "warm"
+        r = session.request("points-to", {"name": "late"})
+        assert r["result"]["points_to"] == {"late": ["shared"]}
+
+    def test_header_update(self, session):
+        u = session.request("update", {
+            "file": "defs.h",
+            "text": "extern int shared; extern int *gp; extern int more;",
+            "kind": "header",
+        })
+        assert u["ok"]
+        assert u["result"]["compiled"] == 2  # header edit re-keys all
+
+    def test_update_rejects_bad_kind(self, session):
+        r = session.request("update",
+                            {"file": "b.c", "text": "", "kind": "blob"})
+        assert not r["ok"] and "kind" in r["error"]
+
+
+class TestDatabaseMode:
+    def test_serves_a_linked_database(self, workspace, tmp_path):
+        path = workspace.build()
+        with ServeSession(database=path) as session:
+            r = session.request("points-to", {"name": "mine"})
+            assert r["result"]["points_to"] == {"mine": ["shared"]}
+            assert session.request("stats")["result"]["mode"] == "database"
+
+    def test_update_is_a_client_error(self, workspace):
+        path = workspace.build()
+        with ServeSession(database=path) as session:
+            r = session.request("update", {"file": "b.c", "text": "int x;"})
+            assert not r["ok"] and "workspace" in r["error"]
+
+    def test_reload_rereads_the_database(self, workspace):
+        path = workspace.build()
+        with ServeSession(database=path) as session:
+            before = session.generation
+            r = session.request("reload", {})
+            assert r["ok"]
+            assert session.generation == before + 1
+
+    def test_constructor_wants_exactly_one_input(self, workspace):
+        with pytest.raises(ValueError):
+            ServeSession()
+        with pytest.raises(ValueError):
+            ServeSession(workspace=workspace, database="x.cla")
+
+    def test_constructor_rejects_unknown_solver(self, workspace):
+        with pytest.raises(ValueError):
+            ServeSession(workspace=workspace, solver="magic")
+
+
+class TestEvents:
+    def test_query_and_reload_events(self, workspace):
+        with EVENTS.sink(MemorySink()) as sink:
+            with ServeSession(workspace=workspace) as session:
+                session.request("points-to", {"name": "mine"})
+                session.request("points-to", {"name": "mine"})
+                session.request("update", {"file": "b.c",
+                                           "text": SOURCE_B_GROWN})
+            reloads = sink.of_kind("serve.reload")
+            assert [e.mode for e in reloads] == ["cold", "warm"]
+            assert reloads[1].compiled == 1
+            queries = sink.of_kind("serve.query")
+            ops = [e.op for e in queries]
+            assert ops == ["points-to", "points-to", "update"]
+            assert [e.cache_hit for e in queries[:2]] == [False, True]
+            assert all(e.generation >= 1 for e in queries)
+
+    def test_error_queries_are_ledgered(self, workspace):
+        with EVENTS.sink(MemorySink()) as sink:
+            with ServeSession(workspace=workspace) as session:
+                session.request("frobnicate")
+            event = sink.of_kind("serve.query")[-1]
+            assert event.ok is False
+
+
+class TestConstraintSignature:
+    def test_identical_content_same_signature(self, tmp_path):
+        ws1 = make_workspace(tmp_path, "c1")
+        ws2 = make_workspace(tmp_path, "c2")
+        from repro.engine.pipeline import Pipeline
+
+        pipeline = Pipeline()
+        with pipeline.open_database(ws1.build()) as s1, \
+                pipeline.open_database(ws2.build()) as s2:
+            assert _constraint_signature(s1) == _constraint_signature(s2)
+        ws1.close()
+        ws2.close()
+
+    def test_additive_edit_grows_signature(self, tmp_path):
+        ws = make_workspace(tmp_path)
+        from repro.engine.pipeline import Pipeline
+
+        pipeline = Pipeline()
+        with pipeline.open_database(ws.build()) as store:
+            old = _constraint_signature(store)
+        ws.update_source("b.c", SOURCE_B_GROWN)
+        with pipeline.open_database(ws.build()) as store:
+            new = _constraint_signature(store)
+        assert old < new
+        ws.update_source("b.c", SOURCE_B_SHRUNK)
+        with pipeline.open_database(ws.build()) as store:
+            shrunk = _constraint_signature(store)
+        assert not (old <= shrunk)
+        ws.close()
