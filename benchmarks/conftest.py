@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 
 import pytest
 
@@ -73,9 +74,12 @@ def pytest_sessionfinish(session, exitstatus):
     out_dir = os.environ.get("REPRO_BENCH_JSON_DIR", ".")
     os.makedirs(out_dir, exist_ok=True)
     counters = REGISTRY.snapshot()
+    created = time.time()
     for suite, benchmarks in sorted(by_suite.items()):
-        doc = {"schema": 1, "suite": suite, "benchmarks": benchmarks,
-               "counters": counters}
+        # ``created`` orders snapshots in a bench-history directory for
+        # ``repro-cla report --trend`` (additive: schema stays 1).
+        doc = {"schema": 1, "suite": suite, "created": created,
+               "benchmarks": benchmarks, "counters": counters}
         path = os.path.join(out_dir, f"BENCH_{suite}.json")
         with open(path, "w", encoding="utf-8") as fh:
             json.dump(doc, fh, indent=2, sort_keys=True)

@@ -318,6 +318,16 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("-I", "--include", action="append", default=[],
                    help="add an #include search directory "
                         "(workspace mode)")
+    p.add_argument("--slow-query-ms", type=float, default=None,
+                   metavar="MS",
+                   help="log requests slower than MS to the in-memory "
+                        "slow-query log (traces op) and emit "
+                        "serve.slow_query ledger events")
+    p.add_argument("--metrics-interval", type=float, default=5.0,
+                   metavar="SEC",
+                   help="sample RSS/uptime/tick-lag gauges for "
+                        "/metrics every SEC seconds (0 disables the "
+                        "background ticker)")
     _add_ledger_flags(p)
 
     p = sub.add_parser("report", help="render a run report from "
@@ -329,6 +339,13 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bench", dest="bench_in", action="append",
                    default=[], metavar="FILE",
                    help="a BENCH_*.json file (repeatable)")
+    p.add_argument("--trend", dest="trend_dir", metavar="DIR",
+                   help="render per-benchmark min-time trends over every "
+                        "timestamped BENCH_*.json snapshot under DIR")
+    p.add_argument("--threshold", type=float, default=0.15,
+                   help="relative slowdown (last vs best snapshot) that "
+                        "flags a trend row as a regression "
+                        "(default 0.15)")
     p.add_argument("--format", choices=["text", "markdown"],
                    default="text", help="output format")
     p.add_argument("-o", "--output", default="-",
@@ -933,6 +950,7 @@ def _cmd_transform(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from ..serve import (
         IncrementalSolveError,
+        ResourceTicker,
         ServeSession,
         make_http_server,
         serve_jsonl,
@@ -982,16 +1000,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                         workspace=workspace, solver=args.solver,
                         cache_entries=args.cache_entries,
                         certify=args.certify,
+                        slow_query_ms=args.slow_query_ms,
                     )
                 else:
                     session = ServeSession(
                         database=args.inputs[0], solver=args.solver,
                         cache_entries=args.cache_entries,
                         certify=args.certify, tracer=tracer,
+                        slow_query_ms=args.slow_query_ms,
                     )
             except BuildError as exc:
                 print(f"error: {exc}", file=sys.stderr)
                 return 1
+            ticker = None
+            if args.metrics_interval > 0:
+                ticker = ResourceTicker(interval=args.metrics_interval)
+                ticker.start()
             try:
                 if port is None:
                     serve_jsonl(session)
@@ -1011,6 +1035,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 # serving; the last response already went unanswered.
                 print(f"error: {exc}", file=sys.stderr)
                 return 1
+            finally:
+                if ticker is not None:
+                    ticker.stop()
     finally:
         if session is not None:
             session.close()
@@ -1020,9 +1047,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    if not (args.trace_in or args.events_in or args.bench_in):
+    if not (args.trace_in or args.events_in or args.bench_in
+            or args.trend_dir):
         print("error: report needs at least one of --trace, --events, "
-              "--bench", file=sys.stderr)
+              "--bench, --trend", file=sys.stderr)
         return 2
     from .report import render_report
 
@@ -1031,6 +1059,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
             trace_path=args.trace_in,
             events_path=args.events_in,
             bench_paths=args.bench_in,
+            trend_dir=args.trend_dir,
+            trend_threshold=args.threshold,
             fmt=args.format,
         )
     except ValueError as exc:

@@ -16,10 +16,11 @@ given and says which inputs produced it.
 from __future__ import annotations
 
 import json
+import os
 from typing import Any, Callable, Iterator
 
 from ..engine.events import read_events
-from .benchcmp import load_bench
+from .benchcmp import DEFAULT_MIN_ABS_DELTA, DEFAULT_THRESHOLD, load_bench
 from .tables import render, render_markdown
 
 Renderer = Callable[[str, list[str], list[list[str]]], str]
@@ -206,6 +207,20 @@ def cache_rows(records: list[dict]) -> tuple[list[str], list[list[str]]]:
     return headers, rows
 
 
+def percentile(sorted_values: list[float], q: float) -> float:
+    """Exact ``q``-quantile of an already-sorted sample (linear
+    interpolation between closest ranks); 0.0 for an empty sample."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    pos = q * (len(sorted_values) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    return sorted_values[lo] + (sorted_values[hi] - sorted_values[lo]) \
+        * (pos - lo)
+
+
 def serve_rows(
     records: list[dict],
 ) -> tuple[tuple[list[str], list[list[str]]],
@@ -213,9 +228,13 @@ def serve_rows(
     """The serving section: per-op latency/hit-rate from ``serve.query``
     records and one row per ``serve.reload``.
 
+    Latency percentiles are exact, computed over the raw ``wall_ms``
+    samples in the ledger (the daemon's own ``stats`` op estimates the
+    same three from its histogram buckets).
+
     Returns ``(queries_table, reloads_table)``, either of which may have
     no rows (a ledger without a serve daemon in it)."""
-    per_op: dict[str, dict[str, float]] = {}
+    per_op: dict[str, dict[str, Any]] = {}
     op_order: list[str] = []
     reload_rows: list[list[str]] = []
     for r in records:
@@ -225,17 +244,12 @@ def serve_rows(
             agg = per_op.get(op)
             if agg is None:
                 agg = per_op[op] = {
-                    "count": 0, "hits": 0, "errors": 0,
-                    "total_ms": 0.0, "max_ms": 0.0,
+                    "hits": 0, "errors": 0, "walls": [],
                 }
                 op_order.append(op)
-            agg["count"] += 1
             agg["hits"] += bool(r.get("cache_hit"))
             agg["errors"] += not r.get("ok", True)
-            wall = float(r.get("wall_ms", 0.0))
-            agg["total_ms"] += wall
-            if wall > agg["max_ms"]:
-                agg["max_ms"] = wall
+            agg["walls"].append(float(r.get("wall_ms", 0.0)))
         elif kind == "serve.reload":
             reload_rows.append([
                 str(r.get("generation", 0)),
@@ -246,19 +260,23 @@ def serve_rows(
                 f"{r.get('wall_s', 0.0):.3f}s",
             ])
     query_headers = ["op", "queries", "cache hits", "hit rate", "errors",
-                     "mean ms", "max ms"]
+                     "mean ms", "p50 ms", "p90 ms", "p99 ms", "max ms"]
     query_rows = []
     for op in op_order:
         agg = per_op[op]
-        count = agg["count"]
+        walls = sorted(agg["walls"])
+        count = len(walls)
         query_rows.append([
             op,
             str(count),
             str(agg["hits"]),
             f"{agg['hits'] / count:.1%}" if count else "-",
             str(agg["errors"]),
-            f"{agg['total_ms'] / count:.3f}" if count else "-",
-            f"{agg['max_ms']:.3f}",
+            f"{sum(walls) / count:.3f}" if count else "-",
+            f"{percentile(walls, 0.50):.3f}",
+            f"{percentile(walls, 0.90):.3f}",
+            f"{percentile(walls, 0.99):.3f}",
+            f"{walls[-1]:.3f}" if walls else "-",
         ])
     reload_headers = ["generation", "mode", "compiled", "reused",
                       "certified", "wall"]
@@ -311,58 +329,208 @@ def mloc_headline(doc: dict) -> str | None:
     )
 
 
+# ---------------------------------------------------------------------------
+# Bench trends: a series of timestamped BENCH_*.json snapshots
+# ---------------------------------------------------------------------------
+
+
+def load_bench_series(
+    trend_dir: str,
+) -> tuple[dict[str, list[dict]], list[str]]:
+    """Every valid ``BENCH_*.json`` under ``trend_dir`` (recursively),
+    grouped by suite and ordered oldest-first.
+
+    Ordering uses the document's own ``created`` timestamp (stamped by
+    ``benchmarks/conftest.py``) and falls back to file mtime for older
+    snapshots that predate the field.  Unreadable or schema-mismatched
+    files are skipped, each reported as one warning line in the second
+    return value — a history directory must tolerate a truncated upload.
+    """
+    found: list[tuple[float, str, dict]] = []
+    warnings: list[str] = []
+    for root, _dirs, files in os.walk(trend_dir):
+        for fname in sorted(files):
+            if not (fname.startswith("BENCH_") and fname.endswith(".json")):
+                continue
+            path = os.path.join(root, fname)
+            try:
+                doc = load_bench(path)
+            except (OSError, ValueError) as exc:
+                warnings.append(f"warning: skipped {path}: {exc}")
+                continue
+            created = doc.get("created")
+            if not isinstance(created, (int, float)):
+                created = os.path.getmtime(path)
+            found.append((float(created), path, doc))
+    found.sort(key=lambda item: (item[0], item[1]))
+    by_suite: dict[str, list[dict]] = {}
+    for _created, path, doc in found:
+        suite = str(doc.get("suite") or os.path.basename(path))
+        by_suite.setdefault(suite, []).append(doc)
+    return by_suite, warnings
+
+
+def trend_rows(
+    series: list[dict],
+    threshold: float = DEFAULT_THRESHOLD,
+    min_abs_delta: float = DEFAULT_MIN_ABS_DELTA,
+) -> tuple[list[str], list[list[str]]]:
+    """Per-benchmark min-time trend over one suite's snapshot series.
+
+    The sparkline is the min-time curve oldest→newest; a row flags
+    ``REGRESSION`` when the latest snapshot is more than ``threshold``
+    above the best one ever seen (and the delta clears the absolute
+    noise floor, mirroring ``bench compare``), ``improved`` when the
+    latest beats the first snapshot by the same band.
+    """
+    headers = ["benchmark", "runs", "first", "best", "last", "last/best",
+               "trend", "status"]
+    names: list[str] = []
+    for doc in series:
+        for name in doc.get("benchmarks", {}):
+            if name not in names:
+                names.append(name)
+    rows = []
+    for name in sorted(names):
+        mins: list[float] = []
+        for doc in series:
+            entry = doc.get("benchmarks", {}).get(name)
+            if entry is None:
+                continue
+            stats = entry.get("stats", {})
+            if "min" in stats:
+                mins.append(float(stats["min"]))
+        if not mins:
+            continue
+        first, best, last = mins[0], min(mins), mins[-1]
+        ratio = last / best if best > 0 else float("inf")
+        if last > best * (1.0 + threshold) and last - best > min_abs_delta:
+            status = "REGRESSION"
+        elif len(mins) > 1 and last < first * (1.0 - threshold):
+            status = "improved"
+        else:
+            status = "ok"
+        rows.append([
+            name,
+            str(len(mins)),
+            f"{first:.4f}s",
+            f"{best:.4f}s",
+            f"{last:.4f}s",
+            f"{ratio:.2f}x",
+            sparkline(mins),
+            status,
+        ])
+    return headers, rows
+
+
+def trend_sections(
+    trend_dir: str,
+    threshold: float = DEFAULT_THRESHOLD,
+    table: Renderer = render,
+) -> list[str]:
+    """The ``--trend DIR`` report sections: one trend table per suite."""
+    by_suite, warnings = load_bench_series(trend_dir)
+    sections = list(warnings)
+    if not by_suite:
+        sections.append(
+            f"warning: no BENCH_*.json snapshots under {trend_dir}"
+        )
+        return sections
+    for suite, series in sorted(by_suite.items()):
+        headers, rows = trend_rows(series, threshold=threshold)
+        if not rows:
+            continue
+        title = (f"Trend: {suite} ({len(series)} snapshots, "
+                 f"threshold {threshold:.0%})")
+        sections.append(table(title, headers, rows))
+        flagged = [r[0] for r in rows if r[-1] == "REGRESSION"]
+        if flagged:
+            sections.append(
+                f"{len(flagged)} regression(s) in {suite}: "
+                + ", ".join(flagged)
+            )
+    return sections
+
+
 def render_report(
     trace_path: str | None = None,
     events_path: str | None = None,
     bench_paths: list[str] | None = None,
     fmt: str = "text",
+    trend_dir: str | None = None,
+    trend_threshold: float = DEFAULT_THRESHOLD,
 ) -> str:
-    """Assemble the full run report from whichever artifacts exist."""
+    """Assemble the full run report from whichever artifacts exist.
+
+    Degrades gracefully: a missing, truncated or schema-mismatched
+    artifact costs its own sections, reported as a one-line warning, and
+    the rest of the report still renders.
+    """
     if fmt not in ("text", "markdown"):
         raise ValueError(f"unknown report format {fmt!r}")
     table: Renderer = render_markdown if fmt == "markdown" else render
     sections: list[str] = []
-    inputs = [p for p in (trace_path, events_path, *(bench_paths or ()))
+    inputs = [p for p in (trace_path, events_path, *(bench_paths or ()),
+                          trend_dir)
               if p]
     heading = "Run report" if not inputs else (
         "Run report — " + ", ".join(inputs)
     )
     sections.append(f"# {heading}" if fmt == "markdown" else heading)
 
+    def _skip(path: str, exc: Exception) -> None:
+        sections.append(f"warning: skipped {path}: {exc}")
+
     if trace_path:
-        trace = load_trace(trace_path)
-        headers, rows = phase_rows(trace)
-        if rows:
-            sections.append(table("Phases", headers, rows))
-        headers, rows = counter_rows(trace)
-        if rows:
-            sections.append(table("Counters", headers, rows))
+        try:
+            trace = load_trace(trace_path)
+        except (OSError, ValueError) as exc:
+            trace = None
+            _skip(trace_path, exc)
+        if trace is not None:
+            headers, rows = phase_rows(trace)
+            if rows:
+                sections.append(table("Phases", headers, rows))
+            headers, rows = counter_rows(trace)
+            if rows:
+                sections.append(table("Counters", headers, rows))
 
     if events_path:
-        records = read_events(events_path)
-        if not trace_path:
-            headers, rows = stage_rows_from_events(records)
+        try:
+            records = read_events(events_path)
+        except (OSError, ValueError) as exc:
+            records = None
+            _skip(events_path, exc)
+        if records is not None:
+            if trace_path is None or trace is None:
+                headers, rows = stage_rows_from_events(records)
+                if rows:
+                    sections.append(
+                        table("Phases (from ledger)", headers, rows)
+                    )
+            headers, rows = solver_summary_rows(records)
             if rows:
-                sections.append(table("Phases (from ledger)", headers, rows))
-        headers, rows = solver_summary_rows(records)
-        if rows:
-            sections.append(table("Solver runs", headers, rows))
-        for solver, headers, rows, curve in convergence_rows(records):
-            title = f"Convergence: {solver}"
-            if curve:
-                title += f"  edges/round {curve}"
-            sections.append(table(title, headers, rows))
-        headers, rows = cache_rows(records)
-        if any(r[1] not in ("", "0") for r in rows):
-            sections.append(table("CLA load accounting", headers, rows))
-        queries, reloads = serve_rows(records)
-        if queries[1]:
-            sections.append(table("Serving: queries", *queries))
-        if reloads[1]:
-            sections.append(table("Serving: reloads", *reloads))
+                sections.append(table("Solver runs", headers, rows))
+            for solver, headers, rows, curve in convergence_rows(records):
+                title = f"Convergence: {solver}"
+                if curve:
+                    title += f"  edges/round {curve}"
+                sections.append(table(title, headers, rows))
+            headers, rows = cache_rows(records)
+            if any(r[1] not in ("", "0") for r in rows):
+                sections.append(table("CLA load accounting", headers, rows))
+            queries, reloads = serve_rows(records)
+            if queries[1]:
+                sections.append(table("Serving: queries", *queries))
+            if reloads[1]:
+                sections.append(table("Serving: reloads", *reloads))
 
     for path in bench_paths or ():
-        doc = load_bench(path)
+        try:
+            doc = load_bench(path)
+        except (OSError, ValueError) as exc:
+            _skip(path, exc)
+            continue
         headers, rows = bench_rows(doc)
         suite = doc.get("suite", path)
         sections.append(table(f"Bench: {suite}", headers, rows))
@@ -370,5 +538,14 @@ def render_report(
         if headline:
             sections.append(f"**{headline}**" if fmt == "markdown"
                             else headline)
+
+    if trend_dir:
+        try:
+            sections.extend(
+                trend_sections(trend_dir, threshold=trend_threshold,
+                               table=table)
+            )
+        except OSError as exc:
+            _skip(trend_dir, exc)
 
     return "\n\n".join(sections) + "\n"

@@ -21,6 +21,8 @@ those low layers back, so an eager import here would be circular.
 from .obs import (
     REGISTRY,
     Counter,
+    Gauge,
+    Histogram,
     Measurement,
     MetricsRegistry,
     Span,
@@ -43,6 +45,8 @@ _PIPELINE_EXPORTS = (
 __all__ = [
     "REGISTRY",
     "Counter",
+    "Gauge",
+    "Histogram",
     "Measurement",
     "MetricsRegistry",
     "SolverStats",

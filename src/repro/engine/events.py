@@ -231,11 +231,34 @@ class ServeQueryEvent(Event):
     KIND: ClassVar[str] = "serve.query"
 
     op: str = ""  # points-to | alias | chain | stats | ...
+    trace: str = ""  # request trace id (client-supplied id or generated)
     solver: str = ""
     generation: int = 0  # database generation the answer came from
     cache_hit: bool = False
     ok: bool = True
     wall_ms: float = 0.0
+    ts: float = 0.0
+
+
+@dataclass(slots=True)
+class ServeSlowQueryEvent(Event):
+    """A serve request exceeded the daemon's ``--slow-query-ms`` budget.
+
+    Emitted *in addition to* the request's ``serve.query`` record so a
+    ledger consumer can alert on the slow stream alone; the daemon also
+    keeps the most recent slow requests in its in-memory slow-query log
+    (readable via the ``traces`` op)."""
+
+    KIND: ClassVar[str] = "serve.slow_query"
+
+    op: str = ""
+    trace: str = ""
+    solver: str = ""
+    generation: int = 0
+    cache_hit: bool = False
+    ok: bool = True
+    wall_ms: float = 0.0
+    threshold_ms: float = 0.0
     ts: float = 0.0
 
 
@@ -370,13 +393,27 @@ EVENTS = EventBus()
 
 
 class MemorySink:
-    """Collects events in order; the test-suite sink."""
+    """Collects events in order; the test-suite sink.
 
-    def __init__(self) -> None:
+    ``maxlen`` bounds the sink to a ring of the most recent events so a
+    long-lived daemon with an attached sink cannot grow without limit
+    (the default, ``None``, keeps everything — test behaviour unchanged).
+    ``self.events`` stays a plain list either way.
+    """
+
+    def __init__(self, maxlen: int | None = None) -> None:
+        if maxlen is not None and maxlen < 1:
+            raise ValueError(f"MemorySink maxlen must be >= 1, got {maxlen}")
+        self.maxlen = maxlen
+        self.dropped = 0  # events trimmed off the front so far
         self.events: list[Event] = []
 
     def handle(self, event: Event) -> None:
         self.events.append(event)
+        if self.maxlen is not None and len(self.events) > self.maxlen:
+            excess = len(self.events) - self.maxlen
+            del self.events[:excess]
+            self.dropped += excess
 
     def of_kind(self, kind: str) -> list[Event]:
         return [e for e in self.events if e.KIND == kind]
@@ -389,7 +426,10 @@ class JsonlSink:
     """One JSON record per event (the ``--events out.jsonl`` sink).
 
     The first line is a header record carrying the schema version, so a
-    reader can validate before streaming the rest.
+    reader can validate before streaming the rest.  Every record is
+    flushed as it is written: the ledger of a long-lived daemon must be
+    tailable (``tail -f events.jsonl``) while the process is still up,
+    not only after a clean shutdown.
     """
 
     def __init__(self, path: str):
@@ -400,6 +440,7 @@ class JsonlSink:
             sort_keys=True,
         ))
         self._f.write("\n")
+        self._f.flush()
 
     def handle(self, event: Event) -> None:
         if self._f is None:
@@ -407,6 +448,7 @@ class JsonlSink:
         self._f.write(json.dumps(event.as_record(), sort_keys=True,
                                  default=str))
         self._f.write("\n")
+        self._f.flush()
 
     def close(self) -> None:
         if self._f is not None:
@@ -415,8 +457,13 @@ class JsonlSink:
 
 
 def read_events(path: str) -> list[dict[str, Any]]:
-    """Parse an events.jsonl back into records, validating the header."""
+    """Parse an events.jsonl back into records, validating the header.
+
+    Raises :class:`ValueError` for anything that is not a schema-matched
+    ledger — including an empty or truncated-to-nothing file, which has
+    no header to validate."""
     records: list[dict[str, Any]] = []
+    saw_header = False
     with open(path, "r", encoding="utf-8") as f:
         for i, line in enumerate(f):
             line = line.strip()
@@ -434,8 +481,11 @@ def read_events(path: str) -> list[dict[str, Any]]:
                         f"{path}: unsupported events schema {schema!r} "
                         f"(expected {EVENTS_SCHEMA_VERSION})"
                     )
+                saw_header = True
                 continue
             records.append(record)
+    if not saw_header:
+        raise ValueError(f"{path}: not an events.jsonl (empty file)")
     return records
 
 
@@ -544,6 +594,14 @@ class ProgressSink:
                 f"[serve] {event.op} (gen {event.generation}, {hit}) "
                 f"{event.wall_ms:.2f}ms",
                 throttled=True,
+            )
+        elif kind == "serve.slow_query":
+            # Never throttled: slow queries are the ones worth seeing.
+            self._render(
+                f"[serve] SLOW {event.op} (gen {event.generation}, "
+                f"trace {event.trace}) {event.wall_ms:.2f}ms "
+                f"> {event.threshold_ms:.0f}ms budget",
+                final=True,
             )
         elif kind == "serve.reload":
             self._render(

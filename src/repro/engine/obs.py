@@ -31,6 +31,7 @@ import json
 import os
 import resource
 import time
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
@@ -208,10 +209,22 @@ class Tracer:
         self.roots: list[Span] = []
         self._stack: list[Span] = []
         self._epoch: float | None = None
+        self._ambient: list[dict[str, Any]] = []
 
     def span(self, name: str, **attrs: Any) -> "_SpanContext":
         """A context manager opening a child span of the current span."""
         return _SpanContext(self, name, attrs)
+
+    def context(self, **attrs: Any) -> "_AmbientContext":
+        """Ambient attributes stamped onto every span begun inside.
+
+        The serving layer wraps each request's dispatch in
+        ``tracer.context(trace=...)`` so nested pipeline/solver spans all
+        carry the request's trace id without threading it through every
+        call signature.  Explicit span attributes win on key collision;
+        contexts nest (innermost wins among themselves).
+        """
+        return _AmbientContext(self, attrs)
 
     @property
     def current(self) -> Span | None:
@@ -223,6 +236,12 @@ class Tracer:
             self._stack[-1].annotate(**attrs)
 
     def _push(self, span: Span) -> Span:
+        if self._ambient:
+            merged: dict[str, Any] = {}
+            for layer in self._ambient:
+                merged.update(layer)
+            merged.update(span.attrs)
+            span.attrs = merged
         span.begin()
         if self._epoch is None:
             self._epoch = span.start_wall
@@ -325,11 +344,28 @@ class _SpanContext:
         self._tracer._pop(self.span)
 
 
+class _AmbientContext:
+    __slots__ = ("_tracer", "_attrs")
+
+    def __init__(self, tracer: Tracer, attrs: dict[str, Any]):
+        self._tracer = tracer
+        self._attrs = attrs
+
+    def __enter__(self) -> dict[str, Any]:
+        self._tracer._ambient.append(self._attrs)
+        return self._attrs
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Tolerate exits out of order (mirrors _pop's unwind tolerance).
+        if self._attrs in self._tracer._ambient:
+            self._tracer._ambient.remove(self._attrs)
+
+
 TRACE_SCHEMA_VERSION = 1
 
 
 # ---------------------------------------------------------------------------
-# Monotonic counters
+# Metrics: counters, gauges, histograms
 # ---------------------------------------------------------------------------
 
 
@@ -352,15 +388,150 @@ class Counter:
         return f"Counter({self.name!r}, {self.value})"
 
 
-class MetricsRegistry:
-    """Process-wide registry of monotonic counters.
+class Gauge:
+    """A named point-in-time value (RSS, uptime, queue lag).
 
-    ``reset`` zeroes values *in place* so module-level counter handles
+    Unlike :class:`Counter` a gauge moves both ways; ``set`` replaces the
+    value outright.  Samplers (e.g. the serve ResourceTicker) overwrite
+    the same gauge on every tick.
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> float:
+        self.value = float(value)
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name!r}, {self.value})"
+
+
+#: Log-scale latency bounds in seconds: 1/2.5/5 per decade, 100us..10s.
+#: Chosen so interactive serve latencies (sub-ms cache hits through
+#: multi-second cold re-solves) land in distinct buckets; everything
+#: slower falls into the +Inf overflow bucket.
+DEFAULT_LATENCY_BOUNDS: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005,
+    0.001, 0.0025, 0.005,
+    0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Histogram:
+    """Fixed-boundary histogram with cumulative-bucket semantics.
+
+    Buckets follow the Prometheus convention: bucket ``i`` counts
+    observations ``<= bounds[i]``, plus one overflow (+Inf) bucket, and
+    ``count``/``sum``/``max`` ride alongside.  Quantiles are estimated by
+    linear interpolation inside the owning bucket (the standard
+    ``histogram_quantile`` estimate), capped by the observed max.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "buckets", "count", "sum", "max")
+
+    def __init__(
+        self,
+        name: str,
+        bounds: tuple[float, ...] = DEFAULT_LATENCY_BOUNDS,
+        labels: tuple[tuple[str, str], ...] = (),
+    ):
+        if not bounds:
+            raise ValueError(f"histogram {name!r}: at least one bound")
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(f"histogram {name!r}: bounds must increase")
+        self.name = name
+        self.labels = labels
+        self.bounds = tuple(float(b) for b in bounds)
+        self.buckets = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.buckets[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0 < q <= 1); 0.0 when empty."""
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cum = 0
+        for i, n in enumerate(self.buckets):
+            cum += n
+            if n and cum >= target:
+                lower = self.bounds[i - 1] if i > 0 else 0.0
+                upper = self.bounds[i] if i < len(self.bounds) else self.max
+                fraction = (target - (cum - n)) / n
+                return min(lower + (upper - lower) * fraction, self.max)
+        return self.max  # pragma: no cover - unreachable (cum == count)
+
+    def percentiles(self) -> dict[str, float]:
+        """The three quantiles every latency report here uses."""
+        return {
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+        }
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """``(le, cumulative_count)`` pairs, ending with ``(inf, count)``."""
+        out: list[tuple[float, int]] = []
+        cum = 0
+        for bound, n in zip(self.bounds, self.buckets):
+            cum += n
+            out.append((bound, cum))
+        out.append((float("inf"), self.count))
+        return out
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": round(self.sum, 9),
+            "max": round(self.max, 9),
+            "mean": round(self.mean, 9),
+            **{k: round(v, 9) for k, v in self.percentiles().items()},
+        }
+
+    def _zero(self) -> None:
+        self.buckets = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.max = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name!r}, {dict(self.labels)}, n={self.count})"
+
+
+class MetricsRegistry:
+    """Process-wide registry of counters, gauges and histograms.
+
+    ``reset`` zeroes values *in place* so module-level metric handles
     (e.g. the CLA store's load counters) stay live across resets.
+    Histograms are keyed by ``(name, labels)`` so one family (say
+    ``serve.request.seconds``) fans out per label set (per op).
     """
 
     def __init__(self) -> None:
         self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[
+            tuple[str, tuple[tuple[str, str], ...]], Histogram
+        ] = {}
 
     def counter(self, name: str) -> Counter:
         c = self._counters.get(name)
@@ -368,6 +539,26 @@ class MetricsRegistry:
             c = Counter(name)
             self._counters[name] = c
         return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            g = Gauge(name)
+            self._gauges[name] = g
+        return g
+
+    def histogram(
+        self,
+        name: str,
+        bounds: tuple[float, ...] = DEFAULT_LATENCY_BOUNDS,
+        **labels: Any,
+    ) -> Histogram:
+        key = (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+        h = self._histograms.get(key)
+        if h is None:
+            h = Histogram(name, bounds=bounds, labels=key[1])
+            self._histograms[key] = h
+        return h
 
     def snapshot(self, include_zero: bool = False) -> dict[str, int]:
         """Counter values, sorted by name.  By default only nonzero
@@ -379,9 +570,25 @@ class MetricsRegistry:
             if include_zero or c.value
         }
 
+    def gauges(self, include_zero: bool = False) -> dict[str, float]:
+        """Gauge values, sorted by name (zero gauges skipped by default)."""
+        return {
+            name: g.value
+            for name, g in sorted(self._gauges.items())
+            if include_zero or g.value
+        }
+
+    def histograms(self) -> list[Histogram]:
+        """Every registered histogram, sorted by (name, labels)."""
+        return [self._histograms[k] for k in sorted(self._histograms)]
+
     def reset(self) -> None:
         for c in self._counters.values():
             c.value = 0
+        for g in self._gauges.values():
+            g.value = 0.0
+        for h in self._histograms.values():
+            h._zero()
 
 
 #: The process-wide registry everything reports into by default.

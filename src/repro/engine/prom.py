@@ -1,0 +1,105 @@
+"""Prometheus text exposition for the :class:`MetricsRegistry`.
+
+Renders every counter, gauge and histogram in a registry as the
+Prometheus text format (version 0.0.4) so the serve daemon's
+``GET /metrics`` (and the stdio ``metrics`` op) can be scraped by any
+off-the-shelf collector:
+
+* counters become ``<name>_total`` counter families,
+* gauges render as-is,
+* histograms emit the conventional cumulative ``_bucket{le="..."}``
+  series (ending in ``le="+Inf"``) plus ``_sum`` and ``_count``.
+
+Metric names here use dots (``serve.request.seconds``); Prometheus only
+allows ``[a-zA-Z_:][a-zA-Z0-9_:]*``, so dots (and anything else illegal)
+are rewritten to underscores.  Only the stdlib is used — no client
+library dependency.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from .obs import REGISTRY, Histogram, MetricsRegistry
+
+#: The scrape content type promised by the text-format spec.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Rewrite an internal dotted metric name into a legal Prometheus one."""
+    name = _NAME_OK.sub("_", name)
+    if not name or name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{sanitize_metric_name(k)}="{_escape_label_value(v)}"'
+        for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # pragma: no cover - NaN gauges never produced here
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_le(bound: float) -> str:
+    return "+Inf" if math.isinf(bound) else _format_value(bound)
+
+
+def _render_histogram(hist: Histogram, lines: list[str]) -> None:
+    name = sanitize_metric_name(hist.name)
+    labels = dict(hist.labels)
+    for bound, cum in hist.cumulative():
+        le = dict(labels, le=_format_le(bound))
+        lines.append(f"{name}_bucket{_format_labels(le)} {cum}")
+    lines.append(f"{name}_sum{_format_labels(labels)} {_format_value(hist.sum)}")
+    lines.append(f"{name}_count{_format_labels(labels)} {hist.count}")
+
+
+def render_prometheus(registry: MetricsRegistry | None = None) -> str:
+    """The whole registry as Prometheus text exposition (one scrape body)."""
+    registry = REGISTRY if registry is None else registry
+    lines: list[str] = []
+
+    for cname, value in registry.snapshot(include_zero=True).items():
+        name = sanitize_metric_name(cname)
+        if not name.endswith("_total"):
+            name += "_total"
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {value}")
+
+    for gname, gvalue in registry.gauges(include_zero=True).items():
+        name = sanitize_metric_name(gname)
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_format_value(gvalue)}")
+
+    seen_families: set[str] = set()
+    for hist in registry.histograms():
+        family = sanitize_metric_name(hist.name)
+        if family not in seen_families:
+            seen_families.add(family)
+            lines.append(f"# TYPE {family} histogram")
+        _render_histogram(hist, lines)
+
+    return "\n".join(lines) + "\n"

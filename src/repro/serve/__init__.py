@@ -23,13 +23,16 @@ from .http import make_http_server, serve_http
 from .jsonl import serve_jsonl
 from .protocol import PROTOCOL_VERSION, handle_request
 from .session import IncrementalSolveError, ServeError, ServeSession
+from .telemetry import ResourceTicker, TraceRing
 
 __all__ = [
     "IncrementalSolveError",
     "PROTOCOL_VERSION",
     "QueryCache",
+    "ResourceTicker",
     "ServeError",
     "ServeSession",
+    "TraceRing",
     "handle_request",
     "make_http_server",
     "serve_http",

@@ -8,7 +8,11 @@ Routes:
 * ``POST /query`` — body is one protocol request object; response is the
   protocol envelope.  A ``shutdown`` op answers, then stops the server.
 * ``GET /stats``   — shorthand for ``{"op": "stats"}``.
-* ``GET /healthz`` — liveness: the hello record, status 200.
+* ``GET /healthz`` — liveness + freshness: status, generation, uptime,
+  and the last (re)solve's mode/cost/age, status 200.
+* ``GET /metrics`` — the whole process :class:`MetricsRegistry`
+  (counters, gauges, latency histograms) as Prometheus text exposition;
+  any off-the-shelf scraper can poll it.
 
 Client mistakes are HTTP 400 with a protocol-shaped error body; unknown
 paths are 404.  Per-request access logging is off (the event ledger is
@@ -21,7 +25,9 @@ import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from .protocol import handle_request, hello
+from ..engine.prom import CONTENT_TYPE as PROM_CONTENT_TYPE
+from ..engine.prom import render_prometheus
+from .protocol import handle_request
 from .session import ServeSession
 
 
@@ -37,16 +43,29 @@ class _ServeHandler(BaseHTTPRequestHandler):
         return self.server.session  # type: ignore[attr-defined]
 
     def _reply(self, status: int, payload: dict) -> None:
-        body = json.dumps(payload, sort_keys=True).encode()
+        self._reply_raw(
+            status,
+            json.dumps(payload, sort_keys=True).encode(),
+            "application/json",
+        )
+
+    def _reply_raw(
+        self, status: int, body: bytes, content_type: str
+    ) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
 
     def do_GET(self) -> None:  # noqa: N802
         if self.path == "/healthz":
-            self._reply(200, hello(self.session))
+            self._reply(200, self.session.health())
+        elif self.path == "/metrics":
+            self.session.flush_telemetry()
+            self._reply_raw(
+                200, render_prometheus().encode(), PROM_CONTENT_TYPE
+            )
         elif self.path == "/stats":
             response, _stop = handle_request(self.session, {"op": "stats"})
             self._reply(200, response)

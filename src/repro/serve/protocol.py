@@ -8,13 +8,16 @@ Request::
     {"op": "points-to", "params": {"name": "p"}, "id": 7}
 
 ``op`` is required; ``params`` defaults to ``{}``; ``id``, if present, is
-echoed verbatim in the response (clients may pipeline requests).
+echoed verbatim in the response (clients may pipeline requests) and
+doubles as the request's trace id — requests without an ``id`` get a
+generated ``t<N>`` trace id instead.
 
 Response envelope (from :meth:`~repro.serve.session.ServeSession.request`,
 plus the echoed ``id``)::
 
-    {"id": 7, "ok": true, "op": "points-to", "generation": 1,
-     "cache_hit": false, "wall_ms": 0.42, "result": {...}}
+    {"id": 7, "ok": true, "op": "points-to", "trace": "7",
+     "generation": 1, "cache_hit": false, "wall_ms": 0.42,
+     "result": {...}}
 
 Failures carry ``"ok": false`` and an ``"error"`` string instead of
 ``result``.  The one op handled here rather than in the session is
@@ -32,8 +35,8 @@ from .session import ServeSession
 PROTOCOL_VERSION = 1
 
 #: Everything a daemon accepts over the wire.
-OPS = ("alias", "chain", "ping", "points-to", "reload", "shutdown",
-       "stats", "update")
+OPS = ("alias", "chain", "metrics", "ping", "points-to", "reload",
+       "shutdown", "stats", "traces", "update")
 
 
 def _error(request_id: Any, message: str) -> dict:
@@ -64,7 +67,8 @@ def handle_request(
         if request_id is not None:
             response["id"] = request_id
         return response, True
-    response = session.request(op, request.get("params"))
+    trace = str(request_id) if request_id is not None else None
+    response = session.request(op, request.get("params"), trace=trace)
     if request_id is not None:
         response["id"] = request_id
     return response, False

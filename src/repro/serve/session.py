@@ -33,32 +33,49 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..checker import check_result
 from ..cla.store import ConstraintStore
 from ..depend.chains import render_all, summarize
 from ..driver.incremental import BuildError, Workspace
-from ..engine.events import EVENTS, ServeQueryEvent, ServeReloadEvent
-from ..engine.obs import REGISTRY, Tracer
+from ..engine.events import (
+    EVENTS,
+    ServeQueryEvent,
+    ServeReloadEvent,
+    ServeSlowQueryEvent,
+)
+from ..engine.obs import REGISTRY, Histogram, Tracer
 from ..engine.pipeline import Pipeline
+from ..engine.prom import CONTENT_TYPE, render_prometheus
 from ..ir.strength import Strength
 from ..solvers import SOLVERS
 from ..solvers.base import PointsToResult
 from .cache import QueryCache
+from .telemetry import TraceRing
 
 _QUERIES = REGISTRY.counter("serve.queries")
 _ERRORS = REGISTRY.counter("serve.errors")
+_SLOW = REGISTRY.counter("serve.slow_queries")
 _RELOADS_WARM = REGISTRY.counter("serve.reloads.warm")
 _RELOADS_COLD = REGISTRY.counter("serve.reloads.cold")
+
+#: The process-wide latency family ``GET /metrics`` scrapes, one
+#: histogram per op label.
+REQUEST_SECONDS = "serve.request.seconds"
 
 #: Ops whose results are pure functions of (database generation, args).
 CACHEABLE_OPS = frozenset({"points-to", "alias", "chain"})
 
 #: Every op :meth:`ServeSession.request` understands (shutdown is a
 #: transport concern, handled in :mod:`repro.serve.protocol`).
-KNOWN_OPS = ("alias", "chain", "ping", "points-to", "reload", "stats",
-             "update")
+KNOWN_OPS = ("alias", "chain", "metrics", "ping", "points-to", "reload",
+             "stats", "traces", "update")
+
+#: Telemetry backlog bound: with the event ledger off, per-request
+#: accounting is deferred and folded in batches of at most this many
+#: envelopes (every read of stats/metrics/traces/health drains first).
+PENDING_DRAIN = 512
 
 
 class ServeError(Exception):
@@ -76,30 +93,40 @@ class IncrementalSolveError(RuntimeError):
 
 @dataclass(slots=True)
 class _OpStats:
-    """Per-op latency/hit-rate accounting for the ``stats`` payload."""
+    """Per-op latency/hit-rate accounting for the ``stats`` payload.
+
+    Latency lives in a log-scale :class:`~repro.engine.obs.Histogram`
+    (the same metric the process registry exposes on ``/metrics``)
+    rather than the old count/total/max trio, so the ``stats`` op
+    reports real p50/p90/p99 per op for this session."""
 
     count: int = 0
     cache_hits: int = 0
     errors: int = 0
-    total_ms: float = 0.0
-    max_ms: float = 0.0
+    #: Session-scoped instance of the same metric family the process
+    #: registry scrapes — ``stats`` reports this session only, while the
+    #: drain also feeds the process-wide ``serve.request.seconds``.
+    hist: Histogram = field(
+        default_factory=lambda: Histogram(REQUEST_SECONDS)
+    )
 
     def record(self, wall_ms: float, cache_hit: bool, ok: bool) -> None:
         self.count += 1
         self.cache_hits += cache_hit
         self.errors += not ok
-        self.total_ms += wall_ms
-        if wall_ms > self.max_ms:
-            self.max_ms = wall_ms
+        self.hist.observe(wall_ms / 1000.0)
 
     def payload(self) -> dict:
-        mean = self.total_ms / self.count if self.count else 0.0
+        pct = self.hist.percentiles()
         return {
             "count": self.count,
             "cache_hits": self.cache_hits,
             "errors": self.errors,
-            "mean_ms": round(mean, 3),
-            "max_ms": round(self.max_ms, 3),
+            "mean_ms": round(self.hist.mean * 1000.0, 3),
+            "p50_ms": round(pct["p50"] * 1000.0, 3),
+            "p90_ms": round(pct["p90"] * 1000.0, 3),
+            "p99_ms": round(pct["p99"] * 1000.0, 3),
+            "max_ms": round(self.hist.max * 1000.0, 3),
         }
 
 
@@ -174,6 +201,8 @@ class ServeSession:
         cache_entries: int = 1024,
         certify: bool = False,
         tracer: Tracer | None = None,
+        slow_query_ms: float | None = None,
+        trace_ring: int = 256,
     ):
         if (workspace is None) == (database is None):
             raise ValueError("exactly one of workspace/database is required")
@@ -191,8 +220,15 @@ class ServeSession:
         )
         self.generation = 0
         self.reloads = {"warm": 0, "cold": 0, "certified": 0}
+        self.slow_query_ms = slow_query_ms
         self._cache = QueryCache(cache_entries)
         self._latency: dict[str, _OpStats] = {}
+        self._pending: list[dict] = []
+        self._traces = TraceRing(trace_ring)
+        self._slow_log = TraceRing(min(trace_ring, 64))
+        self._trace_seq = 0
+        self._started_monotonic = time.monotonic()
+        self._last_reload: dict | None = None
         self._lock = threading.RLock()
         self._store: ConstraintStore | None = None
         self._result: PointsToResult | None = None
@@ -203,6 +239,7 @@ class ServeSession:
 
     def close(self) -> None:
         with self._lock:
+            self._drain_telemetry()
             if self._store is not None:
                 self._store.close()
                 self._store = None
@@ -215,19 +252,31 @@ class ServeSession:
 
     # -- the one entry point -------------------------------------------------
 
-    def request(self, op: str, params: dict | None = None) -> dict:
+    def request(
+        self, op: str, params: dict | None = None,
+        trace: str | None = None,
+    ) -> dict:
         """Serve one request; returns the response envelope (sans ``id``).
 
         Client errors (:class:`ServeError`, :class:`BuildError`) become
         ``{"ok": false, "error": ...}`` responses; anything else is a
         daemon bug and propagates.  Latency and hit-rate are recorded per
         op and a ``serve.query`` event is emitted either way.
+
+        ``trace`` is the request's trace id (the transports pass the
+        client-supplied request ``id``); one is generated when absent.
+        The id rides on the response envelope, the ``serve.query`` event,
+        the recent-trace ring, and — via the tracer's ambient context —
+        every pipeline/solver span the request opens.
         """
         params = params or {}
         started = time.perf_counter()
         ok, cache_hit, error = True, False, None
         result: dict | None = None
         with self._lock:
+            if trace is None:
+                self._trace_seq += 1
+                trace = f"t{self._trace_seq}"
             try:
                 if not isinstance(params, dict):
                     raise ServeError("params must be a JSON object")
@@ -237,41 +286,113 @@ class ServeSession:
                     if result is not None:
                         cache_hit = True
                     else:
-                        result = self._dispatch(op, params)
+                        with self.pipeline.tracer.context(trace=trace):
+                            result = self._dispatch(op, params)
                         self._cache.put(key, result)
                 elif op in KNOWN_OPS:
-                    result = self._dispatch(op, params)
+                    with self.pipeline.tracer.context(trace=trace):
+                        result = self._dispatch(op, params)
                 else:
                     known = ", ".join(KNOWN_OPS)
                     raise ServeError(f"unknown op {op!r} (known: {known})")
             except (ServeError, BuildError) as exc:
                 ok, error = False, str(exc)
             wall_ms = (time.perf_counter() - started) * 1000.0
+            response = {
+                "ok": ok,
+                "op": op,
+                "trace": trace,
+                "generation": self.generation,
+                "cache_hit": cache_hit,
+                "wall_ms": round(wall_ms, 3),
+            }
+            if ok:
+                response["result"] = result
+            else:
+                response["error"] = error
+            self._record(response)
+        return response
+
+    def _record(self, response: dict) -> None:
+        """Hot-path half of per-request telemetry: enqueue and move on.
+
+        The response envelope already carries every field telemetry
+        needs, so the per-request cost is one list append plus the drain
+        checks — the <5% overhead guard in bench_serve measures exactly
+        this seam.  Folding into the histograms, counters, trace ring,
+        slow-query log and event ledger happens in
+        :meth:`_drain_telemetry`: immediately when the ledger is on
+        (events must interleave with the requests that caused them) or a
+        slow query fires, else on the next telemetry read or when the
+        backlog reaches :data:`PENDING_DRAIN`.  Callers hold the session
+        lock."""
+        self._pending.append(response)
+        if (EVENTS or len(self._pending) >= PENDING_DRAIN
+                or (self.slow_query_ms is not None
+                    and response["wall_ms"] >= self.slow_query_ms)):
+            self._drain_telemetry()
+
+    def _drain_telemetry(self) -> None:
+        """Fold every pending envelope into the aggregates (under the
+        session lock): per-op stats, the process-wide latency family,
+        process counters, the recent-trace ring, the slow-query log, and
+        the ``serve.query`` / ``serve.slow_query`` ledger events."""
+        if not self._pending:
+            return
+        pending, self._pending = self._pending, []
+        for response in pending:
+            op = response["op"]
+            ok = response["ok"]
+            cache_hit = response["cache_hit"]
+            wall_ms = response["wall_ms"]
             stats = self._latency.get(op)
             if stats is None:
                 stats = self._latency[op] = _OpStats()
             stats.record(wall_ms, cache_hit, ok)
+            REGISTRY.histogram(REQUEST_SECONDS, op=op).observe(
+                wall_ms / 1000.0
+            )
             _QUERIES.add()
             if not ok:
                 _ERRORS.add()
-            generation = self.generation
+            record = {
+                "trace": response["trace"],
+                "op": op,
+                "generation": response["generation"],
+                "cache_hit": cache_hit,
+                "ok": ok,
+                "wall_ms": wall_ms,
+            }
+            if not ok:
+                record["error"] = response.get("error")
+            self._traces.append(record)
+            slow = (self.slow_query_ms is not None
+                    and wall_ms >= self.slow_query_ms)
+            if slow:
+                _SLOW.add()
+                self._slow_log.append(
+                    dict(record, threshold_ms=self.slow_query_ms)
+                )
             if EVENTS:
                 EVENTS.emit(ServeQueryEvent(
-                    op=op, solver=self.solver, generation=generation,
-                    cache_hit=cache_hit, ok=ok, wall_ms=round(wall_ms, 3),
+                    op=op, trace=record["trace"], solver=self.solver,
+                    generation=record["generation"], cache_hit=cache_hit,
+                    ok=ok, wall_ms=wall_ms,
                 ))
-        response = {
-            "ok": ok,
-            "op": op,
-            "generation": generation,
-            "cache_hit": cache_hit,
-            "wall_ms": round(wall_ms, 3),
-        }
-        if ok:
-            response["result"] = result
-        else:
-            response["error"] = error
-        return response
+                if slow:
+                    EVENTS.emit(ServeSlowQueryEvent(
+                        op=op, trace=record["trace"], solver=self.solver,
+                        generation=record["generation"], cache_hit=cache_hit,
+                        ok=ok, wall_ms=wall_ms,
+                        threshold_ms=self.slow_query_ms,
+                    ))
+
+    def flush_telemetry(self) -> None:
+        """Drain deferred per-request accounting into the registry.  The
+        HTTP ``/metrics`` route calls this before rendering, since the
+        scrape reads the process registry without going through an op."""
+        with self._lock:
+            self._drain_telemetry()
 
     def _dispatch(self, op: str, params: dict) -> dict:
         handler = getattr(self, "_op_" + op.replace("-", "_"))
@@ -284,11 +405,16 @@ class ServeSession:
                 "generation": self.generation}
 
     def _op_stats(self, params: dict) -> dict:
+        self._drain_telemetry()
         return {
             "solver": self.solver,
             "generation": self.generation,
             "mode": "workspace" if self.workspace is not None else "database",
             "certify": self.certify,
+            "uptime_s": round(
+                time.monotonic() - self._started_monotonic, 3
+            ),
+            "slow_query_ms": self.slow_query_ms,
             "pointer_variables": self._result.pointer_variables(),
             "points_to_relations": self._result.points_to_relations(),
             "queries": {
@@ -298,6 +424,55 @@ class ServeSession:
             "query_cache": self._cache.stats(),
             "reloads": dict(self.reloads),
         }
+
+    def _op_metrics(self, params: dict) -> dict:
+        """The whole process registry as a Prometheus scrape body — the
+        stdio equivalent of ``GET /metrics``."""
+        self._drain_telemetry()
+        return {
+            "content_type": CONTENT_TYPE,
+            "text": render_prometheus(REGISTRY),
+            "counters": REGISTRY.snapshot(),
+            "gauges": REGISTRY.gauges(),
+        }
+
+    def _op_traces(self, params: dict) -> dict:
+        """Recent request traces and the slow-query log (most recent
+        first), straight from the in-memory rings."""
+        self._drain_telemetry()
+        limit = params.get("limit", 50)
+        if not isinstance(limit, int) or limit < 0:
+            raise ServeError("limit must be a non-negative integer")
+        return {
+            "recent": self._traces.snapshot(limit),
+            "slow": self._slow_log.snapshot(limit),
+            "slow_query_ms": self.slow_query_ms,
+            "seen": self._traces.appended,
+        }
+
+    def health(self) -> dict:
+        """The ``GET /healthz`` payload: is this daemon alive and what is
+        it serving.  ``last_update`` describes the most recent (re)solve
+        — its mode, cost and age — so a poller can tell "serving and
+        fresh" from "serving a fixpoint from an hour ago"."""
+        with self._lock:
+            self._drain_telemetry()
+            last = dict(self._last_reload) if self._last_reload else None
+            if last is not None:
+                last["age_s"] = round(
+                    time.monotonic() - last.pop("monotonic"), 3
+                )
+            return {
+                "kind": "serve.health",
+                "status": "ok" if self._result is not None else "starting",
+                "solver": self.solver,
+                "generation": self.generation,
+                "uptime_s": round(
+                    time.monotonic() - self._started_monotonic, 3
+                ),
+                "queries": self._traces.appended,
+                "last_update": last,
+            }
 
     def _resolve(self, name: str) -> list[str]:
         """Canonical object names for a query name: an exact (canonical)
@@ -456,6 +631,13 @@ class ServeSession:
             self.reloads["certified"] += 1
         (_RELOADS_WARM if warm else _RELOADS_COLD).add()
         wall_s = time.perf_counter() - started
+        self._last_reload = {
+            "generation": self.generation,
+            "mode": mode,
+            "certified": certified,
+            "seconds": round(wall_s, 6),
+            "monotonic": time.monotonic(),  # health() turns this into age_s
+        }
         if EVENTS:
             EVENTS.emit(ServeReloadEvent(
                 generation=self.generation, solver=self.solver, mode=mode,

@@ -1,0 +1,144 @@
+"""Daemon-side telemetry plumbing: trace rings and the resource ticker.
+
+Two small pieces the serving layer composes:
+
+* :class:`TraceRing` — a bounded ring of recent request records.  The
+  session keeps one for *all* requests and one for slow requests (the
+  ``--slow-query-ms`` log); both are readable over the wire via the
+  ``traces`` op, so "what has this daemon been doing" never requires a
+  ledger file.
+* :class:`ResourceTicker` — a daemon thread that samples process gauges
+  into the :data:`~repro.engine.obs.REGISTRY` on a fixed interval:
+  current RSS (``process.rss_mb``), uptime (``process.uptime_s``) and
+  tick scheduling lag (``serve.tick.lag_s`` — how late the timer fired,
+  a proxy for how starved of CPU the daemon's service threads are).
+  ``GET /metrics`` renders whatever the last tick wrote.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from typing import Any
+
+from ..engine.obs import REGISTRY, MetricsRegistry, peak_rss_mb
+
+_PAGE_SIZE = os.sysconf("SC_PAGE_SIZE") if hasattr(os, "sysconf") else 4096
+
+
+def current_rss_mb() -> float:
+    """Current (not peak) resident set size in MB.
+
+    Reads ``/proc/self/statm`` where available (Linux); falls back to the
+    rusage *peak* elsewhere — a monotone over-estimate, but the gauge
+    stays meaningful."""
+    try:
+        with open("/proc/self/statm", "r") as f:
+            resident_pages = int(f.read().split()[1])
+        return resident_pages * _PAGE_SIZE / (1024.0 * 1024.0)
+    except (OSError, ValueError, IndexError):
+        return peak_rss_mb()
+
+
+class TraceRing:
+    """A bounded ring of request-trace records (plain dicts).
+
+    Appends are O(1) and drop the oldest record past ``capacity``;
+    :meth:`snapshot` returns the most recent first (the order an operator
+    asking "what just happened" wants).  Thread-safe: the session lock
+    already serialises writers, but readers (the HTTP transport's worker
+    threads) may race a writer, so a private lock keeps snapshots
+    consistent.
+    """
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError(f"TraceRing capacity must be >= 1: {capacity}")
+        self.capacity = capacity
+        self._ring: deque[dict[str, Any]] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self.appended = 0  # total ever appended (dropped = appended - len)
+
+    def append(self, record: dict[str, Any]) -> None:
+        with self._lock:
+            self._ring.append(record)
+            self.appended += 1
+
+    def snapshot(self, limit: int | None = None) -> list[dict[str, Any]]:
+        with self._lock:
+            records = list(self._ring)
+        records.reverse()
+        return records[:limit] if limit is not None else records
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+
+class ResourceTicker:
+    """Background sampler feeding process gauges on a fixed interval.
+
+    One tick writes ``process.rss_mb``, ``process.uptime_s`` and
+    ``serve.tick.lag_s`` and bumps the ``serve.ticks`` counter.  The
+    thread is a daemon (never blocks interpreter exit) and ``stop()`` is
+    prompt — the wait is an :class:`threading.Event`, not a sleep.
+    An immediate first sample runs on :meth:`start`, so gauges are
+    populated before the first interval elapses.
+    """
+
+    def __init__(
+        self,
+        interval: float = 5.0,
+        registry: MetricsRegistry | None = None,
+    ):
+        if interval <= 0:
+            raise ValueError(f"ticker interval must be > 0: {interval}")
+        self.interval = interval
+        self.registry = REGISTRY if registry is None else registry
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._started_at = time.monotonic()
+
+    def sample(self, lag_s: float = 0.0) -> None:
+        """Take one sample now (also called from the ticker thread)."""
+        self.registry.gauge("process.rss_mb").set(round(current_rss_mb(), 3))
+        self.registry.gauge("process.uptime_s").set(
+            round(time.monotonic() - self._started_at, 3)
+        )
+        self.registry.gauge("serve.tick.lag_s").set(round(max(lag_s, 0.0), 6))
+        self.registry.counter("serve.ticks").add()
+
+    def start(self) -> "ResourceTicker":
+        if self._thread is not None:
+            return self
+        self._started_at = time.monotonic()
+        self.sample()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-ticker", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while True:
+            before = time.monotonic()
+            if self._stop.wait(self.interval):
+                return
+            # How late the timer fired vs. the interval we asked for:
+            # under CPU starvation (a long solve hogging the GIL) this
+            # grows, which is exactly the queue-lag signal wanted.
+            lag = (time.monotonic() - before) - self.interval
+            self.sample(lag_s=lag)
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+
+    def __enter__(self) -> "ResourceTicker":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

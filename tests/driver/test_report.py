@@ -7,11 +7,37 @@ import pytest
 from repro.driver.report import (
     MAX_CONVERGENCE_ROWS,
     convergence_rows,
+    load_bench_series,
     load_trace,
+    percentile,
     render_report,
+    serve_rows,
     sparkline,
+    trend_rows,
 )
 from repro.driver.tables import render_markdown
+
+
+def _bench_doc(suite, created, **mins):
+    """A minimal BENCH document with one min-time stat per benchmark."""
+    return {
+        "schema": 1, "suite": suite, "created": created,
+        "benchmarks": {
+            name: {"stats": {"min": m, "max": m, "mean": m, "stddev": 0.0,
+                             "median": m, "rounds": 3, "iterations": 1},
+                   "extra_info": {}}
+            for name, m in mins.items()
+        },
+        "counters": {},
+    }
+
+
+def _write_snapshots(trend_dir, docs):
+    trend_dir.mkdir(parents=True, exist_ok=True)
+    for i, doc in enumerate(docs):
+        path = trend_dir / f"run{i}" / f"BENCH_{doc['suite']}.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(doc))
 
 
 def _round(solver, n, edges, **extra):
@@ -153,6 +179,126 @@ class TestRenderReport:
         path.write_text('{"benchmarks": {}}')
         with pytest.raises(ValueError, match="trace"):
             load_trace(str(path))
+
+
+class TestPercentile:
+    def test_exact_quantiles(self):
+        assert percentile([], 0.5) == 0.0
+        assert percentile([7.0], 0.99) == 7.0
+        values = [float(i) for i in range(1, 101)]
+        assert abs(percentile(values, 0.50) - 50.5) < 1e-9
+        assert abs(percentile(values, 0.99) - 99.01) < 1e-9
+        assert percentile(values, 1.0) == 100.0
+
+
+class TestServeSection:
+    def test_query_percentile_columns(self):
+        records = [
+            {"kind": "serve.query", "op": "points-to", "cache_hit": i > 0,
+             "ok": True, "wall_ms": float(i + 1)}
+            for i in range(10)
+        ]
+        records.append({"kind": "serve.query", "op": "points-to",
+                        "cache_hit": False, "ok": False, "wall_ms": 50.0})
+        (headers, rows), _reloads = serve_rows(records)
+        assert headers[5:] == ["mean ms", "p50 ms", "p90 ms", "p99 ms",
+                               "max ms"]
+        (row,) = rows
+        assert row[0] == "points-to" and row[1] == "11"
+        assert row[4] == "1"  # one error
+        p50, p90, p99, mx = map(float, row[6:])
+        assert p50 <= p90 <= p99 <= mx == 50.0
+
+
+class TestTrend:
+    def test_regression_is_flagged(self, tmp_path):
+        _write_snapshots(tmp_path / "hist", [
+            _bench_doc("scaling", 100.0, test_a=1.0, test_b=2.0),
+            _bench_doc("scaling", 200.0, test_a=1.01, test_b=2.0),
+            _bench_doc("scaling", 300.0, test_a=1.5, test_b=1.2),
+        ])
+        text = render_report(trend_dir=str(tmp_path / "hist"))
+        assert "Trend: scaling (3 snapshots" in text
+        assert "1 regression(s) in scaling: test_a" in text
+        lines = {line.split()[0]: line for line in text.splitlines()
+                 if line.strip().startswith("test_")}
+        assert "REGRESSION" in lines["test_a"]
+        assert "1.50x" in lines["test_a"]
+        assert "improved" in lines["test_b"]
+        # The sparkline renders one glyph per snapshot.
+        assert any(c in lines["test_a"] for c in "▁▂▃▄▅▆▇█")
+
+    def test_snapshots_ordered_by_created_not_name(self, tmp_path):
+        # run0 holds the NEWER snapshot: ordering must follow `created`.
+        _write_snapshots(tmp_path / "hist", [
+            _bench_doc("scaling", 900.0, test_a=3.0),
+            _bench_doc("scaling", 100.0, test_a=1.0),
+        ])
+        by_suite, warnings = load_bench_series(str(tmp_path / "hist"))
+        assert warnings == []
+        mins = [doc["benchmarks"]["test_a"]["stats"]["min"]
+                for doc in by_suite["scaling"]]
+        assert mins == [1.0, 3.0]
+
+    def test_mtime_fallback_for_unstamped_snapshots(self, tmp_path):
+        doc = _bench_doc("scaling", 0, test_a=1.0)
+        del doc["created"]
+        _write_snapshots(tmp_path / "hist", [doc])
+        by_suite, warnings = load_bench_series(str(tmp_path / "hist"))
+        assert warnings == []
+        assert len(by_suite["scaling"]) == 1
+
+    def test_small_absolute_deltas_are_not_regressions(self):
+        # 100us -> 140us is +40% but under the 50us noise floor.
+        series = [_bench_doc("s", 1.0, test_t=100e-6),
+                  _bench_doc("s", 2.0, test_t=140e-6)]
+        _headers, rows = trend_rows(series)
+        assert rows[0][-1] == "ok"
+
+    def test_empty_directory_warns(self, tmp_path):
+        empty = tmp_path / "none"
+        empty.mkdir()
+        text = render_report(trend_dir=str(empty))
+        assert "warning: no BENCH_*.json snapshots" in text
+
+
+class TestDegradation:
+    def test_corrupt_bench_json_is_skipped_with_warning(self, tmp_path):
+        good = tmp_path / "BENCH_ok.json"
+        good.write_text(json.dumps(_bench_doc("ok", 1.0, test_a=1.0)))
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text("{truncated")
+        text = render_report(bench_paths=[str(bad), str(good)])
+        assert f"warning: skipped {bad}" in text
+        assert "Bench: ok" in text  # the good artifact still renders
+
+    def test_empty_events_ledger_is_skipped_with_warning(self, tmp_path):
+        events = tmp_path / "events.jsonl"
+        events.write_text("")
+        trace = tmp_path / "t.json"
+        _write_trace(trace)
+        text = render_report(trace_path=str(trace),
+                             events_path=str(events))
+        assert f"warning: skipped {events}" in text
+        assert "Phases" in text  # the trace sections still render
+
+    def test_missing_trace_file_is_skipped_with_warning(self, tmp_path):
+        missing = tmp_path / "nope.json"
+        text = render_report(trace_path=str(missing))
+        assert f"warning: skipped {missing}" in text
+
+    def test_corrupt_snapshot_in_trend_dir_warns_but_renders(
+        self, tmp_path
+    ):
+        hist = tmp_path / "hist"
+        _write_snapshots(hist, [
+            _bench_doc("scaling", 1.0, test_a=1.0),
+            _bench_doc("scaling", 2.0, test_a=1.0),
+        ])
+        (hist / "BENCH_broken.json").write_text('{"schema": 99}')
+        text = render_report(trend_dir=str(hist))
+        assert "warning: skipped" in text and "BENCH_broken" in text
+        assert "Trend: scaling (2 snapshots" in text
 
 
 class TestMarkdownTable:

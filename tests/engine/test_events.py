@@ -14,6 +14,8 @@ from repro.engine.events import (
     JsonlSink,
     MemorySink,
     ProgressSink,
+    ServeQueryEvent,
+    ServeSlowQueryEvent,
     SolverBeginEvent,
     SolverEndEvent,
     SolverRoundEvent,
@@ -70,6 +72,27 @@ class TestEventBus:
         assert len(sink.of_kind("solver.round")) == 1
         assert sink.of_kind("cla.load") == []
 
+    def test_memory_sink_unbounded_by_default(self):
+        bus = EventBus()
+        sink = bus.add_sink(MemorySink())
+        for i in range(1000):
+            bus.emit(SolverRoundEvent(solver="s", round=i))
+        assert len(sink.events) == 1000
+        assert sink.dropped == 0
+
+    def test_memory_sink_maxlen_keeps_most_recent(self):
+        bus = EventBus()
+        sink = bus.add_sink(MemorySink(maxlen=3))
+        for i in range(10):
+            bus.emit(SolverRoundEvent(solver="s", round=i))
+        assert [e.round for e in sink.events] == [7, 8, 9]
+        assert sink.dropped == 7
+        assert sink.kinds() == ["solver.round"] * 3
+
+    def test_memory_sink_rejects_bad_maxlen(self):
+        with pytest.raises(ValueError):
+            MemorySink(maxlen=0)
+
 
 class TestJsonlRoundTrip:
     def test_header_then_flat_records(self, tmp_path):
@@ -110,6 +133,43 @@ class TestJsonlRoundTrip:
         path.write_text('{"kind": "events.header", "schema": 99}\n')
         with pytest.raises(ValueError, match="schema"):
             read_events(str(path))
+
+    def test_read_events_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_events(str(path))
+
+    def test_events_visible_before_close(self, tmp_path):
+        """The ledger must be tail-able: every record is flushed as it is
+        written, so a reader sees it while the daemon still runs."""
+        path = str(tmp_path / "live.jsonl")
+        bus = EventBus()
+        sink = JsonlSink(path)
+        bus.add_sink(sink)
+        # Header lands on open, before any event.
+        assert json.loads(open(path).readline())["kind"] == "events.header"
+        bus.emit(SolverBeginEvent(solver="s"))
+        records = read_events(path)  # sink deliberately NOT closed
+        assert [r["kind"] for r in records] == ["solver.begin"]
+        bus.emit(SolverRoundEvent(solver="s", round=1))
+        assert len(read_events(path)) == 2
+        sink.close()
+
+    def test_serve_slow_query_round_trip(self, tmp_path):
+        path = str(tmp_path / "slow.jsonl")
+        bus = EventBus()
+        sink = JsonlSink(path)
+        with bus.sink(sink):
+            bus.emit(ServeQueryEvent(op="chain", trace="t3", wall_ms=80.0))
+            bus.emit(ServeSlowQueryEvent(op="chain", trace="t3",
+                                         wall_ms=80.0, threshold_ms=50.0))
+        sink.close()
+        records = read_events(path)
+        assert [r["kind"] for r in records] \
+            == ["serve.query", "serve.slow_query"]
+        assert records[0]["trace"] == "t3"
+        assert records[1]["threshold_ms"] == 50.0
 
 
 class TestSolverEmission:
@@ -315,3 +375,25 @@ class TestProgressSink:
         bus.emit(SolverRoundEvent(solver="s", round=2))
         text = out.getvalue()
         assert "round 1" in text and "round 2" in text
+
+    def test_serve_query_lines_are_throttled(self):
+        bus, out = self._bus_with_progress(min_interval=3600.0)
+        bus.emit(ServeQueryEvent(op="points-to", generation=1,
+                                 cache_hit=False, wall_ms=0.4))
+        bus.emit(ServeQueryEvent(op="points-to", generation=1,
+                                 cache_hit=True, wall_ms=0.1))
+        text = out.getvalue()
+        # Only the first query lands inside the throttle interval.
+        assert text.count("[serve]") == 1
+        assert "points-to (gen 1, miss) 0.40ms" in text
+
+    def test_slow_query_lines_are_never_throttled(self):
+        bus, out = self._bus_with_progress(min_interval=3600.0)
+        for n in range(2):
+            bus.emit(ServeSlowQueryEvent(
+                op="chain", trace=f"t{n}", generation=2,
+                wall_ms=120.0, threshold_ms=50.0,
+            ))
+        text = out.getvalue()
+        assert text.count("SLOW chain") == 2
+        assert "(gen 2, trace t0) 120.00ms > 50ms budget" in text

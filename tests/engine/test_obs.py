@@ -5,8 +5,11 @@ import json
 import pytest
 
 from repro.engine.obs import (
+    DEFAULT_LATENCY_BOUNDS,
     REGISTRY,
     Counter,
+    Gauge,
+    Histogram,
     MetricsRegistry,
     Tracer,
     TRACE_SCHEMA_VERSION,
@@ -218,6 +221,130 @@ class TestCounters:
         assert snap.get("cla.assignments_loaded", 0) >= store.stats.loaded
         assert store.stats.blocks_loaded > 0
         assert snap.get("cla.blocks_loaded", 0) >= store.stats.blocks_loaded
+
+
+class TestGauges:
+    def test_gauge_set_and_registry(self):
+        g = Gauge("rss")
+        assert g.value == 0.0
+        g.set(12.5)
+        assert g.value == 12.5
+        g.set(3.0)  # gauges go down, too
+        assert g.value == 3.0
+
+    def test_registry_gauges_snapshot(self):
+        reg = MetricsRegistry()
+        reg.gauge("b").set(2.0)
+        reg.gauge("a")  # stays zero
+        assert reg.gauges() == {"b": 2.0}
+        assert list(reg.gauges(include_zero=True).items()) \
+            == [("a", 0.0), ("b", 2.0)]
+        assert reg.gauge("b") is reg.gauge("b")
+        reg.reset()
+        assert reg.gauges() == {}
+
+
+class TestHistogram:
+    def test_bounds_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=())
+
+    def test_observe_buckets_and_totals(self):
+        h = Histogram("h", bounds=(0.001, 0.01, 0.1))
+        for v in (0.0005, 0.005, 0.005, 0.05, 5.0):
+            h.observe(v)
+        assert h.count == 5
+        assert h.buckets == [1, 2, 1, 1]  # last is the +Inf overflow
+        assert abs(h.sum - 5.0605) < 1e-9
+        assert h.max == 5.0
+        # Cumulative counts, Prometheus-shaped.
+        assert h.cumulative() == [(0.001, 1), (0.01, 3), (0.1, 4),
+                                  (float("inf"), 5)]
+
+    def test_quantiles_interpolate_within_buckets(self):
+        h = Histogram("h", bounds=(1.0, 2.0, 4.0))
+        for v in [0.5] * 50 + [1.5] * 40 + [3.0] * 10:
+            h.observe(v)
+        assert h.quantile(0.0) == 0.0
+        assert 0.0 < h.quantile(0.5) <= 1.0
+        assert 1.0 < h.quantile(0.9) <= 2.0
+        assert 2.0 < h.quantile(0.99) <= 4.0
+        pct = h.percentiles()
+        assert set(pct) == {"p50", "p90", "p99"}
+        assert pct["p50"] <= pct["p90"] <= pct["p99"]
+
+    def test_quantile_capped_by_observed_max(self):
+        h = Histogram("h", bounds=(1.0,))
+        h.observe(30.0)  # lands in +Inf, whose upper edge is the max
+        assert 1.0 < h.quantile(0.99) <= 30.0
+        assert h.quantile(1.0) == 30.0
+
+    def test_empty_histogram_is_all_zero(self):
+        h = Histogram("h")
+        assert h.bounds == DEFAULT_LATENCY_BOUNDS
+        assert h.count == 0 and h.sum == 0.0
+        assert h.quantile(0.5) == 0.0
+        assert h.mean == 0.0
+
+    def test_registry_histograms_keyed_by_labels(self):
+        reg = MetricsRegistry()
+        a = reg.histogram("latency", op="alias")
+        b = reg.histogram("latency", op="chain")
+        assert a is not b
+        assert reg.histogram("latency", op="alias") is a
+        a.observe(0.002)
+        families = reg.histograms()
+        assert [dict(h.labels) for h in families] \
+            == [{"op": "alias"}, {"op": "chain"}]
+        reg.reset()
+        assert a.count == 0  # zeroed in place, handle stays live
+        assert reg.histogram("latency", op="alias") is a
+
+
+class TestTracerAmbientContext:
+    def test_context_attaches_attrs_to_spans(self):
+        tracer = Tracer()
+        with tracer.context(trace="t7"):
+            with tracer.span("analyze", solver="s"):
+                with tracer.span("inner"):
+                    pass
+        with tracer.span("outside"):
+            pass
+        analyze, inner = tracer.find("analyze")[0], tracer.find("inner")[0]
+        assert analyze.attrs == {"solver": "s", "trace": "t7"}
+        assert inner.attrs == {"trace": "t7"}
+        assert "trace" not in tracer.find("outside")[0].attrs
+
+    def test_explicit_attrs_win_over_ambient(self):
+        tracer = Tracer()
+        with tracer.context(trace="outer", extra=1):
+            with tracer.context(trace="inner"):
+                with tracer.span("s"):
+                    pass
+        span = tracer.find("s")[0]
+        assert span.attrs == {"trace": "inner", "extra": 1}
+
+    def test_span_attr_beats_ambient(self):
+        tracer = Tracer()
+        with tracer.context(trace="ambient"):
+            with tracer.span("s", trace="explicit"):
+                pass
+        assert tracer.find("s")[0].attrs["trace"] == "explicit"
+
+    def test_out_of_order_exit_is_tolerated(self):
+        tracer = Tracer()
+        a = tracer.context(trace="a")
+        b = tracer.context(trace="b")
+        a.__enter__()
+        b.__enter__()
+        a.__exit__(None, None, None)  # exits before b: must not raise
+        with tracer.span("s"):
+            pass
+        assert tracer.find("s")[0].attrs["trace"] == "b"
+        b.__exit__(None, None, None)
+        a.__exit__(None, None, None)  # double exit: must not raise
 
 
 class TestMetricsShim:

@@ -1,0 +1,85 @@
+"""Golden tests for the Prometheus text exposition of the registry."""
+
+from repro.engine.obs import MetricsRegistry
+from repro.engine.prom import (
+    CONTENT_TYPE,
+    render_prometheus,
+    sanitize_metric_name,
+)
+
+
+class TestNameSanitization:
+    def test_dots_and_dashes_become_underscores(self):
+        assert sanitize_metric_name("serve.request.seconds") \
+            == "serve_request_seconds"
+        assert sanitize_metric_name("a-b c") == "a_b_c"
+        assert sanitize_metric_name("ok_name:sub") == "ok_name:sub"
+
+    def test_leading_digit_gets_prefixed(self):
+        assert sanitize_metric_name("9lives") == "_9lives"
+
+
+class TestGoldenRendering:
+    def test_counters_gauges_histogram_golden(self):
+        reg = MetricsRegistry()
+        reg.counter("serve.queries").add(3)
+        reg.gauge("process.rss_mb").set(42.5)
+        h = reg.histogram("serve.request.seconds",
+                          bounds=(0.001, 0.01), op="points-to")
+        h.observe(0.0005)
+        h.observe(0.005)
+        h.observe(5.0)
+        assert render_prometheus(reg) == "\n".join([
+            "# TYPE serve_queries_total counter",
+            "serve_queries_total 3",
+            "# TYPE process_rss_mb gauge",
+            "process_rss_mb 42.5",
+            "# TYPE serve_request_seconds histogram",
+            'serve_request_seconds_bucket{le="0.001",op="points-to"} 1',
+            'serve_request_seconds_bucket{le="0.01",op="points-to"} 2',
+            'serve_request_seconds_bucket{le="+Inf",op="points-to"} 3',
+            'serve_request_seconds_sum{op="points-to"} 5.0055',
+            'serve_request_seconds_count{op="points-to"} 3',
+            "",
+        ])
+
+    def test_one_type_line_per_histogram_family(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat", bounds=(1.0,), op="a").observe(0.5)
+        reg.histogram("lat", bounds=(1.0,), op="b").observe(2.0)
+        text = render_prometheus(reg)
+        assert text.count("# TYPE lat histogram") == 1
+        assert 'lat_bucket{le="1",op="a"} 1' in text
+        assert 'lat_bucket{le="+Inf",op="b"} 1' in text
+        assert 'lat_bucket{le="1",op="b"} 0' in text
+
+    def test_zero_valued_metrics_still_render(self):
+        """A scrape body must be schema-stable: registered-but-unused
+        counters and gauges appear with value 0."""
+        reg = MetricsRegistry()
+        reg.counter("never.used")
+        reg.gauge("idle.gauge")
+        text = render_prometheus(reg)
+        assert "never_used_total 0" in text
+        assert "idle_gauge 0" in text
+
+    def test_empty_registry_renders_empty_body(self):
+        assert render_prometheus(MetricsRegistry()) == "\n"
+
+    def test_label_values_are_escaped(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", bounds=(1.0,), op='we"ird\\x\n').observe(0.5)
+        text = render_prometheus(reg)
+        assert 'op="we\\"ird\\\\x\\n"' in text
+
+    def test_content_type_is_the_text_format(self):
+        assert CONTENT_TYPE.startswith("text/plain")
+        assert "version=0.0.4" in CONTENT_TYPE
+
+    def test_every_line_is_wellformed(self):
+        reg = MetricsRegistry()
+        reg.counter("c").add(1)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", bounds=(0.1, 1.0)).observe(0.2)
+        for line in render_prometheus(reg).splitlines():
+            assert line.startswith("# TYPE ") or len(line.split(" ")) == 2

@@ -80,10 +80,33 @@ class TestHttp:
     def test_healthz_and_stats(self, server):
         base, _, _ = server
         status, body = get(base, "/healthz")
-        assert status == 200 and body["kind"] == "serve.hello"
+        assert status == 200 and body["kind"] == "serve.health"
+        assert body["status"] == "ok"
+        assert body["generation"] == 1
+        assert body["uptime_s"] >= 0.0
+        assert body["last_update"]["mode"] == "cold"
+        assert body["last_update"]["age_s"] >= 0.0
         status, body = get(base, "/stats")
         assert status == 200
         assert body["result"]["mode"] == "workspace"
+
+    def test_metrics_scrape(self, server):
+        base, _, _ = server
+        post(base, {"op": "points-to", "params": {"name": "mine"}})
+        request = urllib.request.Request(base + "/metrics")
+        with urllib.request.urlopen(request, timeout=10) as response:
+            assert response.status == 200
+            content_type = response.headers["Content-Type"]
+            text = response.read().decode("utf-8")
+        assert content_type.startswith("text/plain")
+        assert "version=0.0.4" in content_type
+        # Well-formed exposition: every line is a comment or name{...} value.
+        for line in text.splitlines():
+            assert line.startswith("#") or " " in line, line
+        assert "serve_queries_total" in text
+        assert 'serve_request_seconds_bucket{le="+Inf",op="points-to"}' \
+            in text
+        assert "serve_request_seconds_count{op=" in text
 
     def test_unknown_path_is_404(self, server):
         base, _, _ = server

@@ -47,29 +47,29 @@ class TestGoldenSession:
         assert hello["protocol"] == PROTOCOL_VERSION
         assert hello["solver"] == "pretransitive"
         expected = [
-            {"id": 1, "ok": True, "op": "ping", "generation": 1,
-             "cache_hit": False,
+            {"id": 1, "ok": True, "op": "ping", "trace": "1",
+             "generation": 1, "cache_hit": False,
              "result": {"pong": True, "solver": "pretransitive",
                         "generation": 1}},
-            {"id": 2, "ok": True, "op": "points-to", "generation": 1,
-             "cache_hit": False,
+            {"id": 2, "ok": True, "op": "points-to", "trace": "2",
+             "generation": 1, "cache_hit": False,
              "result": {"name": "mine", "resolved": ["mine"],
                         "points_to": {"mine": ["shared"]}}},
-            {"id": 3, "ok": True, "op": "points-to", "generation": 1,
-             "cache_hit": True,
+            {"id": 3, "ok": True, "op": "points-to", "trace": "3",
+             "generation": 1, "cache_hit": True,
              "result": {"name": "mine", "resolved": ["mine"],
                         "points_to": {"mine": ["shared"]}}},
-            {"id": 4, "ok": True, "op": "alias", "generation": 1,
-             "cache_hit": False,
+            {"id": 4, "ok": True, "op": "alias", "trace": "4",
+             "generation": 1, "cache_hit": False,
              "result": {"a": "mine", "b": "gp", "resolved_a": ["mine"],
                         "resolved_b": ["gp"], "may_alias": True,
                         "witness": ["shared"]}},
-            {"id": 5, "ok": True, "op": "update", "generation": 2,
-             "cache_hit": False,
+            {"id": 5, "ok": True, "op": "update", "trace": "5",
+             "generation": 2, "cache_hit": False,
              "result": {"generation": 2, "mode": "warm", "compiled": 1,
                         "reused": 1, "certified": True}},
-            {"id": 6, "ok": True, "op": "points-to", "generation": 2,
-             "cache_hit": False,
+            {"id": 6, "ok": True, "op": "points-to", "trace": "6",
+             "generation": 2, "cache_hit": False,
              "result": {"name": "extra", "resolved": ["extra"],
                         "points_to": {"extra": ["shared"]}}},
             {"id": 7, "ok": True, "op": "shutdown", "generation": 2,
@@ -113,11 +113,14 @@ class TestHandleRequest:
             session, {"op": "ping", "id": "client-7"}
         )
         assert response["id"] == "client-7"
+        assert response["trace"] == "client-7"  # the id is the trace id
         assert not stop
 
     def test_id_is_optional(self, session):
         response, stop = handle_request(session, {"op": "ping"})
         assert "id" not in response
+        # No id: the session generates a per-session trace id instead.
+        assert response["trace"].startswith("t")
 
     def test_shutdown_signals_stop(self, session):
         response, stop = handle_request(session, {"op": "shutdown"})
