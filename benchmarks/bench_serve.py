@@ -1,10 +1,12 @@
 """Serving-path benchmarks: the daemon behind ``repro-cla serve``.
 
-Measures the two claims the serving layer makes (docs/SERVING.md): warm
+Measures the claims the serving layer makes (docs/SERVING.md): warm
 queries against a held fixpoint are interactive-speed (cache-miss vs
-cache-hit queries/sec), and an additive ``update`` re-solved from the
-previous fixpoint beats a full cold re-solve.  One synth workspace is
-built and solved once per run; the benches time only the request path.
+cache-hit queries/sec), an additive ``update`` re-solved from the
+previous fixpoint beats a full cold re-solve, and a *shrinking* edit
+re-solved by region-scoped retraction beats the no-daemon cold start.
+One synth workspace is built and solved once per run; the benches time
+only the request path.
 
 ``extra_info`` carries ``queries_per_s`` / ``mode`` / ``speedup`` so the
 emitted BENCH_serve.json (via conftest's ``pytest_sessionfinish``) is
@@ -206,6 +208,61 @@ def test_serve_update_incremental(benchmark, report):
     )
 
 
+def test_serve_update_retract(benchmark, report):
+    """A shrinking edit: each round's setup grows the edited unit by one
+    self-contained ``__bench_*`` chunk (a warm, additive update), then
+    the timed body edits it back out.  The removal makes the delta
+    non-additive, so the daemon takes the retraction path: only regions
+    touching the removed rows re-solve, every other region's masks are
+    kept verbatim."""
+    session = serving_session()
+    holder = {}
+
+    def setup():
+        holder["shrunk"] = _STATE["edit_text"]
+        grown = grown_edit_text()
+        grow = session.request(
+            "update", {"file": _STATE["edit_file"], "text": grown}
+        )
+        assert grow["ok"], grow
+        assert grow["result"]["mode"] == "warm", grow
+        # The timed run shrinks back to the saved text; keep _STATE in
+        # step so the next round grows from the served base again.
+        _STATE["edit_text"] = holder["shrunk"]
+        return (), {}
+
+    def run():
+        response = session.request(
+            "update",
+            {"file": _STATE["edit_file"], "text": holder["shrunk"]},
+        )
+        assert response["ok"], response
+        assert response["result"]["mode"] == "retract", response
+        # The shrunk revision was compiled on an earlier generation, so
+        # its object comes straight from the cache: the timed body is
+        # pure relink + retraction re-solve.
+        assert response["result"]["compiled"] == 0, response
+        holder["response"] = response
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+    retract = holder["response"]["result"]["retract"]
+    info = {"mode": "retract", "compiled": 0,
+            "regions": retract["regions"],
+            "dirty_regions": retract["dirty_regions"],
+            "kept_names": retract["kept_names"],
+            "resolved_rows": retract["resolved_rows"],
+            "total_rows": retract["total_rows"],
+            "update_s": benchmark.stats.stats.min}
+    benchmark.extra_info.update(info)
+    _STATE["retract_s"] = info["update_s"]
+    report.append(
+        f"[serve] {PROFILE} retraction update: "
+        f"{info['update_s'] * 1e3:.1f} ms end to end "
+        f"({info['dirty_regions']}/{info['regions']} regions dirty, "
+        f"{info['resolved_rows']}/{info['total_rows']} rows re-solved)"
+    )
+
+
 def test_serve_resolve_warm(benchmark, report):
     """Solve-only half of the incremental claim: a warm ``reload``
     (unchanged content, every object reused) re-solves seeded with the
@@ -279,15 +336,21 @@ def test_serve_cold_start(benchmark, report):
     benchmark.pedantic(run, rounds=2, iterations=1)
     cold_start_s = benchmark.stats.stats.min
     update_s = _STATE.get("update_s")
+    retract_s = _STATE.get("retract_s")
     info = {"units": len(program.files), "cold_start_s": cold_start_s}
     if update_s:
         info["speedup_incremental_vs_cold_start"] = cold_start_s / update_s
+    if retract_s:
+        info["speedup_retract_vs_cold_start"] = cold_start_s / retract_s
     benchmark.extra_info.update(info)
     line = (f"[serve] {PROFILE} cold start (compile all "
             f"{info['units']} units + solve): {cold_start_s * 1e3:.1f} ms")
     if update_s:
         line += (f" — incremental update is "
                  f"{info['speedup_incremental_vs_cold_start']:.1f}x faster")
+    if retract_s:
+        line += (f", retraction update "
+                 f"{info['speedup_retract_vs_cold_start']:.1f}x")
     report.append(line)
     serving_session().close()
     _STATE["workspace"].close()

@@ -323,6 +323,10 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="log requests slower than MS to the in-memory "
                         "slow-query log (traces op) and emit "
                         "serve.slow_query ledger events")
+    p.add_argument("--trace-ring", type=int, default=256, metavar="N",
+                   help="keep the last N request traces in memory for "
+                        "the traces op (the slow-query log is capped at "
+                        "min(N, 64); 0 disables both rings)")
     p.add_argument("--metrics-interval", type=float, default=5.0,
                    metavar="SEC",
                    help="sample RSS/uptime/tick-lag gauges for "
@@ -1001,6 +1005,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                         cache_entries=args.cache_entries,
                         certify=args.certify,
                         slow_query_ms=args.slow_query_ms,
+                        trace_ring=args.trace_ring,
                     )
                 else:
                     session = ServeSession(
@@ -1008,6 +1013,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                         cache_entries=args.cache_entries,
                         certify=args.certify, tracer=tracer,
                         slow_query_ms=args.slow_query_ms,
+                        trace_ring=args.trace_ring,
                     )
             except BuildError as exc:
                 print(f"error: {exc}", file=sys.stderr)

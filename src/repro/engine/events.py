@@ -268,6 +268,9 @@ class ServeReloadEvent(Event):
 
     ``mode`` records the re-solve path: ``"warm"`` resumed from the
     previous fixpoint (additive constraint delta, resume-capable solver),
+    ``"retract"`` kept clean-region masks and cold-solved only the
+    regions a non-additive delta touched (any solver; a companion
+    :class:`ServeRetractEvent` carries the invalidation scope), and
     ``"cold"`` solved from scratch.  Either way the generation bumped, so
     every older query-cache entry is unreachable."""
 
@@ -275,11 +278,35 @@ class ServeReloadEvent(Event):
 
     generation: int = 0
     solver: str = ""
-    mode: str = "cold"  # "warm" | "cold"
+    mode: str = "cold"  # "warm" | "retract" | "cold"
     compiled: int = 0  # units recompiled by the workspace build
     reused: int = 0  # units served from the content-keyed cache
     certified: bool = False  # cold-solve bit-identity + oracle ran
     wall_s: float = 0.0
+    ts: float = 0.0
+
+
+@dataclass(slots=True)
+class ServeRetractEvent(Event):
+    """Scope of a region-partitioned retraction re-solve.
+
+    Emitted alongside the ``mode="retract"`` :class:`ServeReloadEvent`:
+    of ``regions`` flow-closed regions in the new database, only
+    ``dirty_regions`` (the ones a changed constraint touched —
+    ``resolved_rows`` of ``total_rows``) were re-solved cold;
+    ``kept_names`` points-to masks were carried over unchanged and
+    ``dropped_names`` belonged to names no longer in the database."""
+
+    KIND: ClassVar[str] = "serve.retract"
+
+    generation: int = 0
+    solver: str = ""
+    regions: int = 0
+    dirty_regions: int = 0
+    kept_names: int = 0
+    dropped_names: int = 0
+    resolved_rows: int = 0
+    total_rows: int = 0
     ts: float = 0.0
 
 

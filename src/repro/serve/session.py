@@ -12,15 +12,22 @@ here:
   full query identity *including the database generation*.
 * **Incremental updates.**  An ``update`` request recompiles only the
   changed unit (through the content-keyed
-  :class:`~repro.driver.incremental.Workspace` cache), relinks, and —
-  when the constraint delta is additive and the solver supports the
-  resume seams — re-solves *from the previous fixpoint* by seeding the
+  :class:`~repro.driver.incremental.Workspace` cache), relinks, and
+  diffs per-unit constraint signatures (computed straight off the object
+  files, cached by content hash — never a scan of the serving store).
+  When the delta is purely additive and the solver supports the resume
+  seams, the re-solve runs *from the previous fixpoint* by seeding the
   new solver with the old result's translated masks
-  (``ingest_fact_masks`` → ``solve_partial`` → ``finish_partial``).
-  Soundness: seeding with facts already contained in the new least
+  (``ingest_fact_masks`` → ``solve_partial`` → ``finish_partial``) —
+  sound because seeding with facts already contained in the new least
   fixpoint cannot change it, and an additive delta guarantees the old
-  fixpoint is contained (monotonicity).  Any non-additive delta, or a
-  solver without resume support, falls back to a cold solve.
+  fixpoint is contained (monotonicity).  When the delta *removes*
+  constraints, the re-solve is **retraction-scoped** for any solver:
+  only the flow-closed regions touching a changed fact are re-solved
+  cold, every clean region's masks are kept verbatim
+  (:func:`repro.solvers.shard.solve_retracted`).  Only an additive
+  delta under a solver without resume support falls back to a full
+  cold solve.
 * **No stale answers.**  Every successful reload bumps ``generation``;
   cache keys lead with the generation, so entries from a previous
   database can never be *looked up*, let alone served.  With
@@ -36,13 +43,20 @@ import time
 from dataclasses import dataclass, field
 
 from ..checker import check_result
-from ..cla.store import ConstraintStore
+from ..cla.linker import UnitSignatureIndex
+from ..cla.store import (
+    ConstraintStore,
+    SignatureDelta,
+    constraint_signature,
+    diff_signatures,
+)
 from ..depend.chains import render_all, summarize
 from ..driver.incremental import BuildError, Workspace
 from ..engine.events import (
     EVENTS,
     ServeQueryEvent,
     ServeReloadEvent,
+    ServeRetractEvent,
     ServeSlowQueryEvent,
 )
 from ..engine.obs import REGISTRY, Histogram, Tracer
@@ -51,6 +65,7 @@ from ..engine.prom import CONTENT_TYPE, render_prometheus
 from ..ir.strength import Strength
 from ..solvers import SOLVERS
 from ..solvers.base import PointsToResult
+from ..solvers.shard import solve_retracted
 from .cache import QueryCache
 from .telemetry import TraceRing
 
@@ -58,7 +73,9 @@ _QUERIES = REGISTRY.counter("serve.queries")
 _ERRORS = REGISTRY.counter("serve.errors")
 _SLOW = REGISTRY.counter("serve.slow_queries")
 _RELOADS_WARM = REGISTRY.counter("serve.reloads.warm")
+_RELOADS_RETRACT = REGISTRY.counter("serve.reloads.retract")
 _RELOADS_COLD = REGISTRY.counter("serve.reloads.cold")
+_RELOADS_FAILED = REGISTRY.counter("serve.reloads.failed")
 
 #: The process-wide latency family ``GET /metrics`` scrapes, one
 #: histogram per op label.
@@ -85,10 +102,11 @@ class ServeError(Exception):
 
 
 class IncrementalSolveError(RuntimeError):
-    """Certification failure: a warm re-solve diverged from the cold
-    solve of the same database (or failed the checker oracle).  This is a
-    solver bug, not a client error — it propagates and stops the daemon
-    rather than risk serving a wrong fixpoint."""
+    """Certification failure: an incremental re-solve (warm resume or
+    retraction) diverged from the cold solve of the same database (or
+    failed the checker oracle).  This is a solver bug, not a client error
+    — it propagates and stops the daemon rather than risk serving a
+    wrong fixpoint."""
 
 
 @dataclass(slots=True)
@@ -128,41 +146,6 @@ class _OpStats:
             "p99_ms": round(pct["p99"] * 1000.0, 3),
             "max_ms": round(self.hist.max * 1000.0, 3),
         }
-
-
-def _constraint_signature(store: ConstraintStore) -> frozenset:
-    """The database's semantic content as a set of hashable facts.
-
-    Covers everything a solver can read: the five-kind assignment rows
-    (static and per-block), function/indirect-call records (funcptr
-    linking) and call sites.  Uses the uncounted ``fetch_*`` seams so the
-    scan does not distort the load accounting the solvers report.
-
-    Used for the additive-delta check: ``old <= new`` (set inclusion)
-    means every old constraint survives, so the old fixpoint is contained
-    in the new one and may seed a warm re-solve.  Sets, not multisets:
-    duplicate rows are idempotent constraints.
-    """
-    facts = set()
-    for a in store.fetch_statics():
-        facts.add((int(a.kind), a.dst, a.src))
-    for name in store.block_names():
-        block = store.fetch_block(name)
-        if block is None:
-            continue
-        for a in block.assignments:
-            facts.add((int(a.kind), a.dst, a.src))
-        record = block.function_record
-        if record is not None:
-            facts.add(("func", record.function, tuple(record.args),
-                       record.ret, record.variadic))
-        indirect = block.indirect_record
-        if indirect is not None:
-            facts.add(("ind", indirect.pointer, tuple(indirect.args),
-                       indirect.ret))
-    for site in store.call_sites():
-        facts.add(("call", site.caller, site.target, site.indirect))
-    return frozenset(facts)
 
 
 def _freeze(value):
@@ -219,20 +202,27 @@ class ServeSession:
             else Pipeline(tracer=tracer)
         )
         self.generation = 0
-        self.reloads = {"warm": 0, "cold": 0, "certified": 0}
+        self.reloads = {
+            "warm": 0, "retract": 0, "cold": 0, "certified": 0, "failed": 0,
+        }
         self.slow_query_ms = slow_query_ms
         self._cache = QueryCache(cache_entries)
         self._latency: dict[str, _OpStats] = {}
         self._pending: list[dict] = []
+        # trace_ring == 0 disables request tracing entirely: both the
+        # recent-trace ring and the slow-query log keep nothing (the
+        # slow log is otherwise capped at 64 entries).
         self._traces = TraceRing(trace_ring)
-        self._slow_log = TraceRing(min(trace_ring, 64))
+        self._slow_log = TraceRing(min(trace_ring, 64) if trace_ring else 0)
         self._trace_seq = 0
         self._started_monotonic = time.monotonic()
         self._last_reload: dict | None = None
+        self._last_failure: dict | None = None
         self._lock = threading.RLock()
         self._store: ConstraintStore | None = None
         self._result: PointsToResult | None = None
         self._signature: frozenset | None = None
+        self._unit_signatures = UnitSignatureIndex()
         self._load(prev=None)
 
     # -- lifecycle -----------------------------------------------------------
@@ -423,6 +413,7 @@ class ServeSession:
             },
             "query_cache": self._cache.stats(),
             "reloads": dict(self.reloads),
+            "last_failure": self._with_age(self._last_failure),
         }
 
     def _op_metrics(self, params: dict) -> dict:
@@ -450,18 +441,27 @@ class ServeSession:
             "seen": self._traces.appended,
         }
 
+    @staticmethod
+    def _with_age(record: dict | None) -> dict | None:
+        """Copy a timestamped record, turning its captured monotonic
+        clock into an ``age_s`` the client can read."""
+        if record is None:
+            return None
+        record = dict(record)
+        record["age_s"] = round(
+            time.monotonic() - record.pop("monotonic"), 3
+        )
+        return record
+
     def health(self) -> dict:
         """The ``GET /healthz`` payload: is this daemon alive and what is
         it serving.  ``last_update`` describes the most recent (re)solve
         — its mode, cost and age — so a poller can tell "serving and
-        fresh" from "serving a fixpoint from an hour ago"."""
+        fresh" from "serving a fixpoint from an hour ago";
+        ``last_failure`` is the most recent update that *failed* (the
+        daemon kept serving the previous generation), or null."""
         with self._lock:
             self._drain_telemetry()
-            last = dict(self._last_reload) if self._last_reload else None
-            if last is not None:
-                last["age_s"] = round(
-                    time.monotonic() - last.pop("monotonic"), 3
-                )
             return {
                 "kind": "serve.health",
                 "status": "ok" if self._result is not None else "starting",
@@ -471,7 +471,8 @@ class ServeSession:
                     time.monotonic() - self._started_monotonic, 3
                 ),
                 "queries": self._traces.appended,
-                "last_update": last,
+                "last_update": self._with_age(self._last_reload),
+                "last_failure": self._with_age(self._last_failure),
             }
 
     def _resolve(self, name: str) -> list[str]:
@@ -582,13 +583,51 @@ class ServeSession:
     def _load(self, prev: PointsToResult | None) -> dict:
         """(Re)build, (re)open and (re)solve; swap in the new fixpoint.
 
-        Runs warm from ``prev`` when sound (additive delta + resume-capable
-        solver), cold otherwise.  On any failure — compile errors, a
-        certification mismatch — the previous store/result/generation stay
-        in place untouched, so the daemon keeps serving the last good
-        fixpoint (or, from the constructor, fails to start at all).
+        Mode selection by signature delta against the serving database:
+
+        * no removals + resume-capable solver → ``warm`` (seeded resume);
+        * any removal → ``retract`` (region-scoped re-solve, any solver);
+        * otherwise → ``cold``.
+
+        On any failure — compile errors, a certification mismatch — the
+        previous store/result/generation stay in place untouched, so the
+        daemon keeps serving the last good fixpoint (or, from the
+        constructor, fails to start at all); the failure is recorded in
+        ``reloads["failed"]`` / ``last_failure`` for healthz and stats.
         """
         started = time.perf_counter()
+        try:
+            return self._load_inner(prev, started)
+        except BaseException as exc:
+            self.reloads["failed"] += 1
+            _RELOADS_FAILED.add()
+            self._last_failure = {
+                "generation": self.generation,  # the one still serving
+                "error": f"{type(exc).__name__}: {exc}",
+                "seconds": round(time.perf_counter() - started, 6),
+                "monotonic": time.monotonic(),
+            }
+            raise
+
+    def _compute_signature(self, store: ConstraintStore) -> frozenset:
+        """The new database's constraint signature.
+
+        Workspace mode folds *per-unit* signatures (read straight off the
+        object files, cached by content hash) in link order — an update
+        re-reads only the units whose content changed and never touches
+        the serving store's ``fetch_*`` seams.  Database mode has no unit
+        structure to key on, so it scans the linked store (through the
+        uncounted ``fetch_*`` seams, to keep the solvers' load accounting
+        honest).
+        """
+        if self.workspace is not None:
+            return self._unit_signatures.merged(
+                (path, key)
+                for _filename, key, path in self.workspace.object_entries()
+            )
+        return constraint_signature(store)
+
+    def _load_inner(self, prev: PointsToResult | None, started: float) -> dict:
         if self.workspace is not None:
             path = self.workspace.build()
             compiled = self.workspace.stats.compiled
@@ -598,21 +637,31 @@ class ServeSession:
             compiled = reused = 0
         store = self.pipeline.open_database(path)
         try:
-            signature = _constraint_signature(store)
-            warm = (
+            signature = self._compute_signature(store)
+            mode = "cold"
+            delta: SignatureDelta | None = None
+            if (
                 prev is not None
                 and self._signature is not None
-                and self._solver_cls.supports_resume
                 and hasattr(prev.pts, "masks")
-                and self._signature <= signature
-            )
-            if warm:
+            ):
+                delta = diff_signatures(self._signature, signature)
+                if not delta.additive:
+                    mode = "retract"
+                elif self._solver_cls.supports_resume:
+                    mode = "warm"
+            retract_info: dict | None = None
+            if mode == "retract":
+                result, retract_info = self._retract_solve(
+                    store, prev, delta
+                )
+            elif mode == "warm":
                 result = self._warm_solve(store, prev)
             else:
                 result = self.pipeline.analyze(store, self.solver)
             certified = False
             if self.certify:
-                self._certify(path, store, result, warm)
+                self._certify(path, store, result, mode != "cold")
                 certified = True
         except BaseException:
             store.close()
@@ -625,11 +674,14 @@ class ServeSession:
         self._cache.drop_before(self.generation)
         if old_store is not None:
             old_store.close()
-        mode = "warm" if warm else "cold"
         self.reloads[mode] += 1
         if certified:
             self.reloads["certified"] += 1
-        (_RELOADS_WARM if warm else _RELOADS_COLD).add()
+        {
+            "warm": _RELOADS_WARM,
+            "retract": _RELOADS_RETRACT,
+            "cold": _RELOADS_COLD,
+        }[mode].add()
         wall_s = time.perf_counter() - started
         self._last_reload = {
             "generation": self.generation,
@@ -644,7 +696,12 @@ class ServeSession:
                 compiled=compiled, reused=reused, certified=certified,
                 wall_s=round(wall_s, 6),
             ))
-        return {
+            if retract_info is not None:
+                EVENTS.emit(ServeRetractEvent(
+                    generation=self.generation, solver=self.solver,
+                    **retract_info,
+                ))
+        response = {
             "generation": self.generation,
             "mode": mode,
             "compiled": compiled,
@@ -652,6 +709,37 @@ class ServeSession:
             "certified": certified,
             "seconds": round(wall_s, 6),
         }
+        if retract_info is not None:
+            response["retract"] = dict(retract_info)
+        return response
+
+    def _retract_solve(
+        self,
+        store: ConstraintStore,
+        prev: PointsToResult,
+        delta: SignatureDelta,
+    ) -> tuple[PointsToResult, dict]:
+        """Region-scoped re-solve after a non-additive delta.
+
+        Partitions the *new* store into flow-closed regions, cold-solves
+        only the regions a changed fact touches, and keeps every clean
+        region's previous masks verbatim — sound for every solver, no
+        resume seams needed (see :func:`repro.solvers.shard.solve_retracted`
+        for the independence argument)."""
+        with self.pipeline._stage(
+            "analyze", solver=self.solver, mode="retract"
+        ) as span:
+            result, info = solve_retracted(
+                store, self._solver_cls, prev, delta.touched_names(),
+            )
+            span.annotate(
+                regions=info["regions"],
+                dirty_regions=info["dirty_regions"],
+                kept_names=info["kept_names"],
+                resolved_rows=info["resolved_rows"],
+                **result.stats.counter_fields(),
+            )
+        return result, info
 
     def _warm_solve(
         self, store: ConstraintStore, prev: PointsToResult
@@ -697,16 +785,17 @@ class ServeSession:
         path: str,
         store: ConstraintStore,
         result: PointsToResult,
-        warm: bool,
+        incremental: bool,
     ) -> None:
         """Prove the fixpoint right before serving it.
 
-        A warm result is compared bit-for-bit (decoded points-to sets over
-        the union of names) against a cold solve of the same database on a
-        fresh store; both paths then run the checker oracle.  The cold
-        reference uses its own store so its load accounting cannot pollute
-        the serving result's."""
-        if warm:
+        An incremental result (warm resume *or* retraction re-solve) is
+        compared bit-for-bit (decoded points-to sets over the union of
+        names) against a cold solve of the same database on a fresh
+        store; every path then runs the checker oracle.  The cold
+        reference uses its own store so its load accounting cannot
+        pollute the serving result's."""
+        if incremental:
             cold_store = self.pipeline.open_database(path)
             try:
                 cold = self.pipeline.analyze(cold_store, self.solver)
@@ -715,8 +804,8 @@ class ServeSession:
             for name in set(result.pts) | set(cold.pts):
                 if result.points_to(name) != cold.points_to(name):
                     raise IncrementalSolveError(
-                        f"warm re-solve diverged from cold solve at "
-                        f"{name!r}: warm={sorted(result.points_to(name))} "
+                        f"incremental re-solve diverged from cold solve at "
+                        f"{name!r}: got={sorted(result.points_to(name))} "
                         f"cold={sorted(cold.points_to(name))}"
                     )
         report = check_result(

@@ -47,15 +47,18 @@ class TraceRing:
 
     Appends are O(1) and drop the oldest record past ``capacity``;
     :meth:`snapshot` returns the most recent first (the order an operator
-    asking "what just happened" wants).  Thread-safe: the session lock
-    already serialises writers, but readers (the HTTP transport's worker
-    threads) may race a writer, so a private lock keeps snapshots
-    consistent.
+    asking "what just happened" wants).  ``capacity=0`` means *disabled*:
+    the ring retains nothing (snapshots are empty) but ``appended`` still
+    counts — so a daemon run with ``--trace-ring 0`` keeps its "queries
+    seen" accounting without holding request records in memory.
+    Thread-safe: the session lock already serialises writers, but readers
+    (the HTTP transport's worker threads) may race a writer, so a private
+    lock keeps snapshots consistent.
     """
 
     def __init__(self, capacity: int = 256):
-        if capacity < 1:
-            raise ValueError(f"TraceRing capacity must be >= 1: {capacity}")
+        if capacity < 0:
+            raise ValueError(f"TraceRing capacity must be >= 0: {capacity}")
         self.capacity = capacity
         self._ring: deque[dict[str, Any]] = deque(maxlen=capacity)
         self._lock = threading.Lock()

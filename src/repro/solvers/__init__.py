@@ -31,9 +31,12 @@ SOLVERS = {
 }
 
 from .shard import (  # noqa: E402  (needs SOLVERS for worker dispatch)
+    RegionPlan,
     ShardPlan,
     ShardSpec,
+    plan_regions,
     plan_shards,
+    solve_retracted,
     solve_sharded,
 )
 
@@ -42,7 +45,8 @@ __all__ = [
     "BitVectorSolver", "OneLevelFlowSolver", "PreTransitiveSolver",
     "SteensgaardSolver",
     "TransitiveSolver", "SOLVERS",
-    "ShardPlan", "ShardSpec", "plan_shards", "solve_sharded",
+    "RegionPlan", "ShardPlan", "ShardSpec", "plan_regions", "plan_shards",
+    "solve_retracted", "solve_sharded",
 ]
 
 

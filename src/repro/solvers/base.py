@@ -157,6 +157,26 @@ class PointsToResult:
             total += counted(name)
         return total
 
+    def retract_names(self, names) -> dict[str, int]:
+        """Kept id-space masks after discarding ``names``.
+
+        The retraction seam: a region-scoped re-solve
+        (:func:`repro.solvers.shard.solve_retracted`) drops every name a
+        constraint delta could have affected and keeps the rest verbatim.
+        Returns ``{name: mask}`` in *this result's* universe bit space —
+        remap through the kept universe's ``target_names`` to merge.
+        Requires a mask-backed ``pts`` (:class:`LazyPointsTo`).
+        """
+        masks = getattr(self.pts, "masks", None)
+        if masks is None:
+            raise TypeError(
+                f"{self.solver} result is not mask-backed; cannot retract"
+            )
+        drop = names if isinstance(names, (set, frozenset)) else set(names)
+        return {
+            name: mask for name, mask in masks().items() if name not in drop
+        }
+
     def pointed_by(self) -> dict[str, set[str]]:
         """Reverse index: target object -> pointers that may point to it.
 

@@ -53,7 +53,7 @@ import multiprocessing
 import os
 from dataclasses import dataclass, field
 
-from ..cla.slice import StoreSlice
+from ..cla.slice import StoreSlice, slice_store
 from ..cla.store import ConstraintStore
 from ..engine.events import (
     EVENTS,
@@ -173,6 +173,40 @@ class ShardPlan:
         return self.split_regions == 0
 
 
+@dataclass
+class RegionPlan:
+    """The flow-closed region partition of a live store.
+
+    The shard planner's first move, factored out so it can be reused on
+    its own: the serving layer's retraction path re-solves only the
+    regions a constraint delta touches and keeps every other region's
+    previous masks (sound because no points-to fact can cross a region
+    boundary — the same independence whole-region sharding relies on).
+
+    ``region_*`` maps are keyed by the union-find root of each region;
+    :meth:`region_of` answers "which region holds this name" without
+    mutating the partition (names with no constraints are in no region).
+    """
+
+    uf: _UnionFind
+    region_blocks: dict[str, list[str]]
+    region_statics: dict[str, list[PrimitiveAssignment]]
+    region_weight: dict[str, int]
+    region_names: dict[str, list[str]]
+    total_rows: int
+    target_pool: tuple[str, ...] = ()
+
+    @property
+    def regions(self) -> int:
+        return len(self.region_weight)
+
+    def region_of(self, name: str) -> str | None:
+        """The region root holding ``name`` (None: no constraints)."""
+        if name not in self.uf.parent:
+            return None
+        return self.uf.find(name)
+
+
 def _record_unions(uf: _UnionFind, block) -> None:
     fr = block.function_record
     if fr is not None:
@@ -186,17 +220,16 @@ def _record_unions(uf: _UnionFind, block) -> None:
         uf.union(ir.pointer, ir.ret)
 
 
-def plan_shards(
-    store: ConstraintStore, shards: int, allow_split: bool = True
-) -> ShardPlan:
-    """Partition a store's rows into ``shards`` balanced subsets.
+def plan_regions(store: ConstraintStore) -> RegionPlan:
+    """Partition a store into flow-closed regions (near-linear).
 
-    ``allow_split`` must be False for unification-precision solvers:
-    their per-shard results are only bit-identical when every region
-    stays whole.
+    One union-find pass over every assignment row (``dst ~ src``, ADDR
+    included) plus the §4 function/indirect-record plumbing
+    (``f ~ f$argN ~ f$ret``), then one grouping pass by root.  Blocks
+    partition whole (every row of a block names its trigger), and the
+    address-taken target pool is collected in store order as a side
+    effect — the shared bit numbering every consumer pre-interns.
     """
-    if shards < 1:
-        raise ValueError(f"shards must be >= 1, got {shards}")
     uf = _UnionFind()
     target_pool: list[str] = []
     seen_targets: set[str] = set()
@@ -207,9 +240,8 @@ def plan_shards(
         if a.kind is addr and a.src not in seen_targets:
             seen_targets.add(a.src)
             target_pool.append(a.src)
-    block_names = list(store.block_names())
     block_weights: dict[str, int] = {}
-    for name in block_names:
+    for name in list(store.block_names()):
         block = store.load_block(name)
         if block is None:
             continue
@@ -241,7 +273,39 @@ def plan_shards(
     for name in uf.parent:
         region_names.setdefault(uf.find(name), []).append(name)
 
-    total_rows = sum(region_weight.values())
+    return RegionPlan(
+        uf=uf,
+        region_blocks=region_blocks,
+        region_statics=region_statics,
+        region_weight=region_weight,
+        region_names=region_names,
+        total_rows=sum(region_weight.values()),
+        target_pool=tuple(target_pool),
+    )
+
+
+def plan_shards(
+    store: ConstraintStore, shards: int, allow_split: bool = True,
+    regions: RegionPlan | None = None,
+) -> ShardPlan:
+    """Partition a store's rows into ``shards`` balanced subsets.
+
+    ``allow_split`` must be False for unification-precision solvers:
+    their per-shard results are only bit-identical when every region
+    stays whole.  ``regions`` reuses an existing :func:`plan_regions`
+    partition instead of re-scanning the store.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if regions is None:
+        regions = plan_regions(store)
+    region_blocks = regions.region_blocks
+    region_statics = regions.region_statics
+    region_weight = regions.region_weight
+    region_names = regions.region_names
+    target_pool = regions.target_pool
+
+    total_rows = regions.total_rows
     fair_share = max(1, -(-total_rows // shards))  # ceil
     specs = [ShardSpec(index=i) for i in range(shards)]
 
@@ -699,6 +763,31 @@ def _remap_masks(
     return [target_id(name) for name in target_names]
 
 
+def _merge_mask_outputs(
+    universe: ObjectUniverse,
+    outputs: list[tuple[list[str], dict[str, int]]],
+) -> dict[str, int]:
+    """Union ``(target_names, masks)`` outputs by name through one
+    universe: each output's masks are in its own target bit space; its
+    name table gives the remap (identity over any shared pre-interned
+    prefix, so pooled bits pass through untouched)."""
+    merged_masks: dict[str, int] = {}
+    intern = universe.intern
+    for target_names, masks in outputs:
+        remap = _remap_masks(universe, target_names)
+        ident = 0
+        for j, v in enumerate(remap):
+            if v != j:
+                break
+            ident = j + 1
+        for name, mask in masks.items():
+            intern(name)
+            merged_masks[name] = (
+                merged_masks.get(name, 0) | _remap_mask(mask, remap, ident)
+            )
+    return merged_masks
+
+
 def _merge_outputs(
     store: ConstraintStore,
     solver: str,
@@ -712,20 +801,10 @@ def _merge_outputs(
     target_id = universe.target_id
     for pooled in plan.target_pool:
         target_id(pooled)
-    merged_masks: dict[str, int] = {}
-    intern = universe.intern
-    for out in outputs:
-        remap = _remap_masks(universe, out["target_names"])
-        ident = 0
-        for j, v in enumerate(remap):
-            if v != j:
-                break
-            ident = j + 1
-        for name, mask in out["masks"].items():
-            intern(name)
-            merged_masks[name] = (
-                merged_masks.get(name, 0) | _remap_mask(mask, remap, ident)
-            )
+    merged_masks = _merge_mask_outputs(
+        universe,
+        [(out["target_names"], out["masks"]) for out in outputs],
+    )
 
     stats = SolverStats(solver=solver)
     for k, v in summed.items():
@@ -758,3 +837,124 @@ def _merge_outputs(
         load_stats=store.stats,
         objects=objects,
     )
+
+
+# ---------------------------------------------------------------------------
+# Region-scoped retraction re-solve (serve-layer warm path, ROADMAP item 1)
+# ---------------------------------------------------------------------------
+
+
+def solve_retracted(
+    store: ConstraintStore,
+    solver,
+    prev: PointsToResult,
+    touched_names,
+    plan: RegionPlan | None = None,
+    **solver_kwargs,
+) -> tuple[PointsToResult, dict]:
+    """Re-solve after a constraint delta by resolving only dirty regions.
+
+    ``prev`` is the previous generation's (mask-backed) result and
+    ``touched_names`` is every name mentioned by an added *or* removed
+    constraint fact.  The new store is partitioned into flow-closed
+    regions (:func:`plan_regions`); a region is **dirty** iff it contains
+    a touched name.  For every *clean* region the old fixpoint restricted
+    to its names is already the new fixpoint — no fact mentioning those
+    names changed, and no points-to fact can cross a region boundary (the
+    same independence whole-region sharding relies on, for all five
+    solvers) — so its previous masks are kept verbatim.  Dirty regions
+    are cold-solved as one :class:`~repro.cla.slice.StoreSlice`; names
+    that vanished from the store (in no region at all) are dropped.  Kept
+    and re-solved masks merge through one coordinator universe exactly
+    like shard outputs.
+
+    Returns ``(result, info)`` where ``info`` reports the scope of the
+    invalidation: ``regions``, ``dirty_regions``, ``kept_names``,
+    ``dropped_names`` (vanished), ``resolved_rows`` and ``total_rows``.
+    The result is bit-identical to a cold ``solver`` solve of ``store``.
+    """
+    cls = _solver_class(solver)
+    if plan is None:
+        plan = plan_regions(store)
+    dirty_roots: set[str] = set()
+    for name in touched_names:
+        root = plan.region_of(name)
+        if root is not None:
+            dirty_roots.add(root)
+
+    # Stale masks: every name in a dirty region, plus vanished names
+    # (no constraints mention them any more, so their sets are empty).
+    stale: set[str] = set()
+    dropped = 0
+    for name in prev.pts.masks():
+        root = plan.region_of(name)
+        if root is None:
+            stale.add(name)
+            dropped += 1
+        elif root in dirty_roots:
+            stale.add(name)
+    keep = prev.retract_names(stale)
+
+    dirty_statics: list[PrimitiveAssignment] = []
+    dirty_rows: dict[str, list[PrimitiveAssignment]] = {}
+    for root in dirty_roots:
+        dirty_statics.extend(plan.region_statics.get(root, ()))
+        for bname in plan.region_blocks.get(root, ()):
+            dirty_rows[bname] = store.load_block(bname).assignments
+    resolved_rows = len(dirty_statics) + sum(
+        len(rows) for rows in dirty_rows.values()
+    )
+
+    universe = ObjectUniverse(store)
+    target_id = universe.target_id
+    for pooled in plan.target_pool:
+        target_id(pooled)
+    outputs: list[tuple[list[str], dict[str, int]]] = [
+        (list(prev.pts.universe.target_names), keep),
+    ]
+    summed = {k: 0 for k in _SUMMED_STATS}
+    if dirty_roots:
+        dirty_solver = cls(
+            slice_store(store, dirty_statics, dirty_rows), **solver_kwargs
+        )
+        dirty_result = dirty_solver.solve()
+        outputs.append((
+            list(dirty_result.pts.universe.target_names),
+            dict(dirty_result.pts.masks()),
+        ))
+        for k in _SUMMED_STATS:
+            summed[k] += getattr(dirty_result.stats, k)
+    merged_masks = _merge_mask_outputs(universe, outputs)
+
+    stats = SolverStats(solver=cls.name)
+    for k, v in summed.items():
+        setattr(stats, k, v)
+    stats.interned_objects = len(universe)
+    stats.interned_targets = universe.target_count
+    stats.bitset_words = sum(
+        bitset_words(mask) for mask in merged_masks.values()
+    )
+    stats.absorb_load_stats(store.stats)
+    stats.publish()
+
+    objects = {}
+    for name in merged_masks:
+        obj = store.get_object(name)
+        if obj is not None:
+            objects[name] = obj
+    result = PointsToResult(
+        solver=cls.name,
+        pts=LazyPointsTo(merged_masks, universe),
+        metrics=stats,
+        load_stats=store.stats,
+        objects=objects,
+    )
+    info = {
+        "regions": plan.regions,
+        "dirty_regions": len(dirty_roots),
+        "kept_names": len(keep),
+        "dropped_names": dropped,
+        "resolved_rows": resolved_rows,
+        "total_rows": plan.total_rows,
+    }
+    return result, info

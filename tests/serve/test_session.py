@@ -3,9 +3,9 @@ query cache, incremental updates, and error envelopes."""
 
 import pytest
 
+from repro.cla.store import constraint_signature
 from repro.engine.events import EVENTS, MemorySink
 from repro.serve import ServeSession
-from repro.serve.session import _constraint_signature
 
 from .conftest import SOURCE_B, SOURCE_B_GROWN, SOURCE_B_SHRUNK, make_workspace
 
@@ -112,10 +112,23 @@ class TestQueryCacheSemantics:
         r = session.request("points-to", {"name": "mine"})
         assert r["cache_hit"], "old generation's cache should still serve"
         assert r["result"]["points_to"] == {"mine": ["shared"]}
-        # Fixing the file recovers.
+        # healthz and stats both report the failure while still serving.
+        health = session.health()
+        assert health["status"] == "ok"
+        assert health["generation"] == before
+        failure = health["last_failure"]
+        assert failure is not None
+        assert failure["generation"] == before
+        assert "b.c" in failure["error"]
+        assert failure["age_s"] >= 0.0
+        stats = session.request("stats")["result"]
+        assert stats["reloads"]["failed"] == 1
+        assert "b.c" in stats["last_failure"]["error"]
+        # Fixing the file recovers; the failure record stays on display.
         u = session.request("update", {"file": "b.c", "text": SOURCE_B})
         assert u["ok"]
         assert session.generation == before + 1
+        assert session.health()["last_update"]["generation"] == before + 1
 
     def test_mutating_ops_are_never_cached(self, session):
         session.request("reload", {})
@@ -132,13 +145,19 @@ class TestUpdates:
         assert u["result"]["reused"] == 1
         assert u["result"]["certified"] is True
 
-    def test_shrinking_update_falls_back_to_cold(self, session):
+    def test_shrinking_update_resolves_via_retraction(self, session):
         u = session.request("update", {"file": "b.c",
                                        "text": SOURCE_B_SHRUNK})
-        assert u["result"]["mode"] == "cold"
+        assert u["result"]["mode"] == "retract"
+        assert u["result"]["certified"] is True
+        retract = u["result"]["retract"]
+        assert retract["dirty_regions"] <= retract["regions"]
+        assert retract["resolved_rows"] <= retract["total_rows"]
         # mine's flow is gone: nothing resolves, nothing points anywhere.
         r = session.request("points-to", {"name": "mine"})
         assert all(not v for v in r["result"]["points_to"].values())
+        stats = session.request("stats")["result"]
+        assert stats["reloads"]["retract"] == 1
 
     def test_new_file_via_update(self, session):
         u = session.request("update", {
@@ -215,6 +234,19 @@ class TestEvents:
             assert [e.cache_hit for e in queries[:2]] == [False, True]
             assert all(e.generation >= 1 for e in queries)
 
+    def test_retract_events_carry_invalidation_scope(self, workspace):
+        with EVENTS.sink(MemorySink()) as sink:
+            with ServeSession(workspace=workspace) as session:
+                session.request("update", {"file": "b.c",
+                                           "text": SOURCE_B_SHRUNK})
+            reloads = sink.of_kind("serve.reload")
+            assert [e.mode for e in reloads] == ["cold", "retract"]
+            (retract,) = sink.of_kind("serve.retract")
+            assert retract.generation == reloads[-1].generation
+            assert retract.solver == "pretransitive"
+            assert 0 < retract.dirty_regions <= retract.regions
+            assert retract.resolved_rows <= retract.total_rows
+
     def test_error_queries_are_ledgered(self, workspace):
         with EVENTS.sink(MemorySink()) as sink:
             with ServeSession(workspace=workspace) as session:
@@ -232,7 +264,7 @@ class TestConstraintSignature:
         pipeline = Pipeline()
         with pipeline.open_database(ws1.build()) as s1, \
                 pipeline.open_database(ws2.build()) as s2:
-            assert _constraint_signature(s1) == _constraint_signature(s2)
+            assert constraint_signature(s1) == constraint_signature(s2)
         ws1.close()
         ws2.close()
 
@@ -242,13 +274,74 @@ class TestConstraintSignature:
 
         pipeline = Pipeline()
         with pipeline.open_database(ws.build()) as store:
-            old = _constraint_signature(store)
+            old = constraint_signature(store)
         ws.update_source("b.c", SOURCE_B_GROWN)
         with pipeline.open_database(ws.build()) as store:
-            new = _constraint_signature(store)
+            new = constraint_signature(store)
         assert old < new
         ws.update_source("b.c", SOURCE_B_SHRUNK)
         with pipeline.open_database(ws.build()) as store:
-            shrunk = _constraint_signature(store)
+            shrunk = constraint_signature(store)
         assert not (old <= shrunk)
         ws.close()
+
+    def test_per_unit_merge_matches_store_scan(self, tmp_path):
+        """The linked database's scanned signature equals the per-unit
+        signatures folded in link order — the equivalence the serving
+        layer's store-free signature path rests on."""
+        from repro.cla.linker import UnitSignatureIndex
+        from repro.engine.pipeline import Pipeline
+
+        ws = make_workspace(tmp_path)
+        pipeline = Pipeline()
+        index = UnitSignatureIndex()
+        for edit in (SOURCE_B_GROWN, SOURCE_B_SHRUNK, SOURCE_B):
+            path = ws.build()
+            with pipeline.open_database(path) as store:
+                scanned = constraint_signature(store)
+            merged = index.merged(
+                (obj, key) for _f, key, obj in ws.object_entries()
+            )
+            assert merged == scanned
+            ws.update_source("b.c", edit)
+        assert index.hits > 0, "unchanged units should be cache hits"
+        ws.close()
+
+
+class TestUpdateSignatureScan:
+    def test_update_never_scans_serving_store(self, workspace, monkeypatch):
+        """Signature diffs are computed from per-unit object files, so an
+        update must not fetch a single block from the serving database —
+        even for a solver that can never resume warm (the historical bug:
+        an O(database) signature scan ran before the resume check)."""
+        from repro.cla.reader import DatabaseStore
+
+        with ServeSession(workspace=workspace,
+                          solver="steensgaard") as session:
+            calls = []
+            original = DatabaseStore.fetch_block
+
+            def counted(self, name):
+                calls.append(name)
+                return original(self, name)
+
+            monkeypatch.setattr(DatabaseStore, "fetch_block", counted)
+            u = session.request("update", {"file": "b.c",
+                                           "text": SOURCE_B_GROWN})
+            assert u["ok"]
+            # Additive delta + non-resumable solver: a plain cold solve.
+            assert u["result"]["mode"] == "cold"
+            assert calls == [], "update scanned the serving store"
+
+
+class TestTraceRingDisabled:
+    def test_zero_disables_both_rings_but_keeps_counts(self, workspace):
+        with ServeSession(workspace=workspace, trace_ring=0,
+                          slow_query_ms=0.0) as session:
+            session.request("points-to", {"name": "mine"})
+            session.request("points-to", {"name": "mine"})
+            traces = session.request("traces")["result"]
+            assert traces["recent"] == []
+            assert traces["slow"] == [], "slow log must honour 0 = disabled"
+            assert traces["seen"] >= 2
+            assert session.health()["queries"] >= 2

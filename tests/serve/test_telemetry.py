@@ -152,9 +152,17 @@ class TestTraceRing:
         assert [r["n"] for r in ring.snapshot()] == [4, 3]
         assert [r["n"] for r in ring.snapshot(limit=1)] == [4]
 
-    def test_rejects_bad_capacity(self):
+    def test_rejects_negative_capacity(self):
         with pytest.raises(ValueError):
-            TraceRing(capacity=0)
+            TraceRing(capacity=-1)
+
+    def test_zero_capacity_is_disabled_but_counts(self):
+        ring = TraceRing(capacity=0)
+        for i in range(3):
+            ring.append({"n": i})
+        assert len(ring) == 0
+        assert ring.snapshot() == []
+        assert ring.appended == 3
 
 
 class TestResourceTicker:

@@ -1,0 +1,146 @@
+"""Region-scoped retraction (``solve_retracted``) and its partition
+(``plan_regions``).
+
+The contract: after any constraint delta, re-solving only the regions a
+changed fact touches — keeping every clean region's masks verbatim —
+yields the *same* fixpoint as a cold solve of the new store, for every
+solver.  This suite pins that bit-identity on the synthetic profiles,
+checks the partition invariants ``plan_shards`` now builds on, and
+exercises the ``retract_names`` seam directly.
+"""
+
+import pytest
+
+from repro.checker import check_result
+from repro.cla.store import MemoryStore, constraint_signature, diff_signatures
+from repro.solvers import (
+    SOLVERS,
+    plan_regions,
+    plan_shards,
+    solve_retracted,
+)
+from repro.synth import generate
+
+SCALE = 0.02
+
+_UNITS: dict[str, list] = {}
+
+
+def units(profile: str):
+    if profile not in _UNITS:
+        _UNITS[profile] = generate(
+            profile, scale=SCALE, seed=7
+        ).project().units()
+    return _UNITS[profile]
+
+
+def nonempty(result) -> dict:
+    return {name: pts for name, pts in result.pts.items() if pts}
+
+
+def retract_reference(old_units, new_units, solver):
+    """Run the full retraction path: old solve → delta → retracted
+    re-solve of the new store; returns (retracted, cold, info)."""
+    old_store = MemoryStore(list(old_units))
+    prev = SOLVERS[solver](old_store).solve()
+    new_store = MemoryStore(list(new_units))
+    delta = diff_signatures(
+        constraint_signature(old_store), constraint_signature(new_store)
+    )
+    result, info = solve_retracted(
+        new_store, solver, prev, delta.touched_names()
+    )
+    cold = SOLVERS[solver](MemoryStore(list(new_units))).solve()
+    return result, cold, info
+
+
+class TestPlanRegions:
+    def test_rows_partition_exactly(self):
+        store = MemoryStore(units("nethack"))
+        plan = plan_regions(store)
+        assert plan.total_rows == sum(plan.region_weight.values())
+        assert plan.regions == len(plan.region_weight) > 0
+        # Every block lands in exactly one region.
+        seen = set()
+        for blocks in plan.region_blocks.values():
+            for name in blocks:
+                assert name not in seen
+                seen.add(name)
+
+    def test_region_of_is_read_only(self):
+        store = MemoryStore(units("nethack"))
+        plan = plan_regions(store)
+        before = len(plan.uf.parent)
+        assert plan.region_of("no-such-name-anywhere") is None
+        assert len(plan.uf.parent) == before, "lookup must not intern"
+        some_name = next(iter(plan.uf.parent))
+        root = plan.region_of(some_name)
+        assert root in plan.region_weight
+
+    @pytest.mark.parametrize("shards", (1, 3))
+    def test_plan_shards_accepts_prebuilt_regions(self, shards):
+        store = MemoryStore(units("burlap"))
+        regions = plan_regions(store)
+        fresh = plan_shards(store, shards)
+        reused = plan_shards(store, shards, regions=regions)
+        assert fresh.total_rows == reused.total_rows
+        assert fresh.boundary == reused.boundary
+        assert fresh.regions == reused.regions
+        assert [s.rows for s in fresh.shards] == \
+            [s.rows for s in reused.shards]
+
+
+class TestRetractBitIdentity:
+    @pytest.mark.parametrize("solver", sorted(SOLVERS))
+    def test_unit_removal(self, solver):
+        old = units("nethack")
+        assert len(old) > 1
+        result, cold, info = retract_reference(old, old[:-1], solver)
+        assert nonempty(result) == nonempty(cold), solver
+        assert info["dirty_regions"] <= info["regions"]
+
+    @pytest.mark.parametrize("solver", sorted(SOLVERS))
+    def test_unit_replacement(self, solver):
+        old = units("burlap")
+        new = units("burlap")[:-1] + units("vortex")[-1:]
+        result, cold, info = retract_reference(old, new, solver)
+        assert nonempty(result) == nonempty(cold), solver
+
+    @pytest.mark.parametrize("solver", sorted(SOLVERS))
+    def test_result_passes_oracle(self, solver):
+        old = units("vortex")
+        new_units = old[:-1]
+        result, _cold, _info = retract_reference(old, new_units, solver)
+        report = check_result(
+            MemoryStore(list(new_units)), result,
+            check_minimal=SOLVERS[solver].precision == "andersen",
+        )
+        assert report.ok, report.render()
+
+    def test_identical_stores_resolve_nothing(self):
+        old = units("nethack")
+        result, cold, info = retract_reference(old, old, "pretransitive")
+        assert info["dirty_regions"] == 0
+        assert info["resolved_rows"] == 0
+        assert info["kept_names"] > 0
+        assert nonempty(result) == nonempty(cold)
+
+
+class TestRetractNamesSeam:
+    def test_drops_only_named_masks(self):
+        store = MemoryStore(units("nethack"))
+        result = SOLVERS["pretransitive"](store).solve()
+        masks = result.pts.masks()
+        victim = next(iter(masks))
+        kept = result.retract_names({victim})
+        assert victim not in kept
+        assert len(kept) == len(masks) - 1
+        for name, mask in kept.items():
+            assert masks[name] == mask
+
+    def test_requires_mask_backed_result(self):
+        from repro.solvers.base import PointsToResult
+
+        plain = PointsToResult(solver="x", pts={"p": frozenset({"t"})})
+        with pytest.raises(TypeError):
+            plain.retract_names({"p"})
